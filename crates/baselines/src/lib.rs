@@ -1,0 +1,30 @@
+//! # graphrare-baselines
+//!
+//! The nine heterophilic-GNN state-of-the-art baselines that the GraphRARE
+//! paper compares against in Table III: MixHop, UGCN, SimP-GCN, Geom-GCN,
+//! GBK-GNN, Polar-GNN, HOG-GCN, MI-GCN and OTGNet.
+//!
+//! Every method keeps its defining mechanism (see each
+//! [`BaselineKind`] variant) while ancillary engineering is dropped
+//! uniformly; most methods factor into "derived propagation operators"
+//! ([`transforms`]) plus a generic multi-operator GNN
+//! ([`operator_gnn::OperatorGnn`]).
+//!
+//! ```no_run
+//! use graphrare_baselines::{run_baseline, BaselineConfig, BaselineKind};
+//! use graphrare_datasets::{generate_mini, stratified_split, Dataset};
+//!
+//! let g = generate_mini(Dataset::Chameleon, 42);
+//! let split = stratified_split(g.labels(), g.num_classes(), 0);
+//! let report = run_baseline(BaselineKind::MixHop, &g, &split, &BaselineConfig::default());
+//! println!("MixHop: {:.3}", report.test_acc);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kinds;
+pub mod operator_gnn;
+pub mod transforms;
+
+pub use kinds::{run_baseline, BaselineConfig, BaselineKind};
+pub use operator_gnn::{Combine, Operator, OperatorGnn};

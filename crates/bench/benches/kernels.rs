@@ -1,0 +1,135 @@
+//! Criterion microbenchmarks of the workspace's hot kernels: the
+//! quantities behind Table VI's runtime comparison (per-epoch GNN cost,
+//! one-off entropy cost, per-step DRL cost, topology rebuild cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use graphrare::{EditMode, TopoState, TopologyOptimizer};
+use graphrare_datasets::{generate_mini, Dataset};
+use graphrare_entropy::{
+    EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+};
+use graphrare_gnn::{build_model, Backbone, GraphTensors, ModelConfig, TrainConfig, Trainer};
+use graphrare_graph::ops;
+use graphrare_rl::{GlobalPolicy, PpoAgent, PpoConfig, RolloutBuffer, ValueNet};
+use graphrare_tensor::Matrix;
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy");
+    for dataset in [Dataset::Cornell, Dataset::Wisconsin] {
+        let g = generate_mini(dataset, 42);
+        group.bench_with_input(
+            BenchmarkId::new("relative_entropy_table", dataset.name()),
+            &g,
+            |b, g| {
+                b.iter(|| RelativeEntropyTable::new(g, &RelativeEntropyConfig::default()));
+            },
+        );
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("sequence_build", dataset.name()),
+            &g,
+            |b, g| {
+                b.iter(|| EntropySequences::build(g, &table, &SequenceConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    let g = generate_mini(Dataset::Chameleon, 42);
+    let a_hat = ops::gcn_norm(&g);
+    let x = Matrix::from_fn(g.num_nodes(), 48, |r, c| ((r * 7 + c) % 13) as f32 * 0.1);
+    group.bench_function("spmm_chameleon_48", |b| {
+        b.iter(|| a_hat.spmm(&x));
+    });
+    group.bench_function("gcn_norm_build_chameleon", |b| {
+        b.iter(|| ops::gcn_norm(&g));
+    });
+    group.bench_function("two_hop_build_chameleon", |b| {
+        b.iter(|| ops::row_norm_two_hop(&g));
+    });
+    group.finish();
+}
+
+fn bench_gnn_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_epoch");
+    group.sample_size(20);
+    let g = generate_mini(Dataset::Cornell, 42);
+    let gt = GraphTensors::new(&g);
+    let labels = g.labels().to_vec();
+    let mask: Vec<usize> = (0..g.num_nodes()).step_by(2).collect();
+    for backbone in [Backbone::Gcn, Backbone::Sage, Backbone::Gat, Backbone::H2gcn] {
+        let model = build_model(
+            backbone,
+            g.feat_dim(),
+            g.num_classes(),
+            &ModelConfig::default(),
+        );
+        let mut trainer = Trainer::new(model.as_ref(), &TrainConfig::default());
+        group.bench_function(BenchmarkId::new("train_epoch", backbone.name()), |b| {
+            b.iter(|| trainer.train_epoch(model.as_ref(), &gt, &labels, &mask));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ppo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppo");
+    group.sample_size(20);
+    let nodes = 180;
+    let state_dim = 2 * nodes;
+    let policy = GlobalPolicy::new(state_dim, 64, 2 * nodes, 0);
+    let value = ValueNet::new(state_dim, 64, 1);
+    let mut agent = PpoAgent::new(policy, value, PpoConfig::default());
+    let state = vec![0.25f32; state_dim];
+    group.bench_function("act_180_nodes", |b| {
+        b.iter(|| agent.act(&state));
+    });
+    // A realistic 8-step buffer, as used by one update window.
+    let mut buffer = RolloutBuffer::new();
+    for t in 0..8 {
+        let (actions, logp, v) = agent.act(&state);
+        buffer.push(state.clone(), actions, logp, v, 0.01 * t as f32, t == 7);
+    }
+    group.bench_function("update_8_steps_180_nodes", |b| {
+        b.iter(|| agent.update(&buffer, 0.0));
+    });
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    let g = generate_mini(Dataset::Wisconsin, 42);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let seqs = EntropySequences::build(&g, &table, &SequenceConfig::default());
+    let topo = TopologyOptimizer::new(g.clone(), seqs, EditMode::Both);
+    let mut state = TopoState::new(topo.k_bounds(10), topo.d_bounds(10));
+    for v in 0..g.num_nodes() {
+        state.set_k(v, 3);
+        state.set_d(v, 1);
+    }
+    group.bench_function("materialize_wisconsin_k3_d1", |b| {
+        b.iter(|| topo.materialize(&state));
+    });
+    let rewired = topo.materialize(&state);
+    group.bench_function("graph_tensors_snapshot", |b| {
+        b.iter(|| {
+            let gt = GraphTensors::new(&rewired);
+            gt.gcn_norm()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_entropy,
+    bench_propagation,
+    bench_gnn_epoch,
+    bench_ppo,
+    bench_topology
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Plain-text table rendering and CSV output for the repro harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple aligned text table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = *w);
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Formats `mean ± std` of accuracies in percent, paper style.
+pub fn mean_std_pct(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    format!("{:.2}±{:.2}", 100.0 * mean, 100.0 * var.sqrt())
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["Method", "Acc"]);
+        t.row(vec!["GCN".into(), "59.08".into()]);
+        t.row(vec!["GraphSAGE-RARE".into(), "69.28".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("GCN "));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("graphrare-table-test");
+        let path = dir.join("t.csv");
+        let mut t = TextTable::new(&["name", "note"]);
+        t.row(vec!["a,b".into(), "plain".into()]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"a,b\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mean_std_formatting() {
+        assert_eq!(mean_std_pct(&[0.5, 0.5]), "50.00±0.00");
+        assert_eq!(mean_std_pct(&[]), "-");
+        let s = mean_std_pct(&[0.6, 0.8]);
+        assert!(s.starts_with("70.00±"));
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! `graphrare` — command-line interface to the framework.
+//!
+//! Runs GraphRARE on a user-supplied attributed graph and writes back the
+//! optimised topology plus a metrics summary. Input is the plain-text
+//! bundle format of [`graphrare_graph::io`]: `<prefix>.edges`,
+//! `<prefix>.features`, `<prefix>.labels`.
+//!
+//! ```text
+//! graphrare --input data/mygraph --output out/mygraph-optimized \
+//!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
+//!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphrare::{run, GraphRareConfig, RlAlgo};
+use graphrare_datasets::stratified_split;
+use graphrare_gnn::Backbone;
+use graphrare_graph::{io, metrics};
+
+struct Args {
+    input: PathBuf,
+    output: Option<PathBuf>,
+    backbone: Backbone,
+    lambda: f64,
+    steps: usize,
+    seed: u64,
+    split_seed: u64,
+    k_cap: usize,
+    algo: RlAlgo,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphrare --input <prefix> [--output <prefix>] \
+         [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
+         [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: PathBuf::new(),
+        output: None,
+        backbone: Backbone::Gcn,
+        lambda: 1.0,
+        steps: 160,
+        seed: 42,
+        split_seed: 0,
+        k_cap: 10,
+        algo: RlAlgo::Ppo,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut have_input = false;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--input" => {
+                args.input = PathBuf::from(value(&mut i));
+                have_input = true;
+            }
+            "--output" => args.output = Some(PathBuf::from(value(&mut i))),
+            "--backbone" => {
+                args.backbone = match value(&mut i).to_lowercase().as_str() {
+                    "gcn" => Backbone::Gcn,
+                    "sage" | "graphsage" => Backbone::Sage,
+                    "gat" => Backbone::Gat,
+                    "h2gcn" => Backbone::H2gcn,
+                    other => {
+                        eprintln!("unknown backbone {other}");
+                        usage()
+                    }
+                }
+            }
+            "--lambda" => args.lambda = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--steps" => args.steps = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--split-seed" => args.split_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--k-cap" => args.k_cap = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--algo" => {
+                args.algo = match value(&mut i).to_lowercase().as_str() {
+                    "ppo" => RlAlgo::Ppo,
+                    "a2c" => RlAlgo::A2c,
+                    other => {
+                        eprintln!("unknown algorithm {other}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if !have_input {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let graph = match io::read_graph(&args.input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loaded {}: {} nodes, {} edges, {} classes, {} features, homophily {:.3}",
+        args.input.display(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_classes(),
+        graph.feat_dim(),
+        metrics::homophily_ratio(&graph)
+    );
+
+    let split = stratified_split(graph.labels(), graph.num_classes(), args.split_seed);
+    let mut cfg = GraphRareConfig::default().with_seed(args.seed);
+    cfg.entropy.lambda = args.lambda;
+    cfg.steps = args.steps;
+    cfg.k_cap = args.k_cap;
+    cfg.algo = args.algo;
+
+    println!(
+        "running {}-RARE ({:?}, {} DRL steps, lambda {}, k-cap {}) ...",
+        args.backbone.name(),
+        args.algo,
+        cfg.steps,
+        args.lambda,
+        args.k_cap
+    );
+    let report = run(&graph, &split, args.backbone, &cfg);
+
+    println!("test accuracy (best-validation checkpoint): {:.2}%", 100.0 * report.test_acc);
+    println!("best validation accuracy:                   {:.2}%", 100.0 * report.best_val_acc);
+    println!(
+        "homophily ratio:                            {:.3} -> {:.3}",
+        report.original_homophily, report.optimized_homophily
+    );
+    println!(
+        "edges:                                      {} -> {}",
+        graph.num_edges(),
+        report.optimized_graph.num_edges()
+    );
+
+    if let Some(out) = args.output {
+        if let Err(e) = io::write_graph(&report.optimized_graph, &out) {
+            eprintln!("failed to write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("optimised graph written to {}.{{edges,features,labels}}", out.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,173 @@
+//! Configuration of the full GraphRARE framework.
+
+use graphrare_entropy::{RelativeEntropyConfig, SequenceConfig};
+use graphrare_gnn::{ModelConfig, TrainConfig};
+use graphrare_rl::PpoConfig;
+
+use crate::reward::RewardKind;
+use crate::topology::EditMode;
+
+/// How the per-node candidate rankings are ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SequenceMode {
+    /// Rank by node relative entropy (the real framework).
+    Entropy,
+    /// Randomly shuffle each node's ranking (the "GCN-RA" ablation:
+    /// GraphRARE without relative entropy).
+    Shuffled {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+/// Which reinforcement-learning algorithm updates the policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RlAlgo {
+    /// Proximal Policy Optimization (the paper's choice).
+    Ppo,
+    /// Advantage actor-critic — exercises the paper's remark that "other
+    /// reinforcement learning algorithms can also be conveniently
+    /// applied" (Sec. IV-B); compared in the `repro_ablation_rl` bench.
+    A2c,
+}
+
+/// Which policy parameterisation drives the MDP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// MLP over the whole `2N` state (the paper's configuration).
+    Global {
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Weight-shared per-node MLP (scales to large `N`).
+    Shared {
+        /// Hidden width.
+        hidden: usize,
+    },
+}
+
+/// Full configuration of one GraphRARE run.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphRareConfig {
+    /// Relative-entropy computation (λ, embedding, normaliser).
+    pub entropy: RelativeEntropyConfig,
+    /// Candidate-pool and ranking construction.
+    pub sequences: SequenceConfig,
+    /// Backbone hyper-parameters.
+    pub model: ModelConfig,
+    /// GNN optimisation hyper-parameters.
+    pub train: TrainConfig,
+    /// PPO hyper-parameters.
+    pub ppo: PpoConfig,
+    /// Reward function (Eq. 11 or the AUC ablation).
+    pub reward: RewardKind,
+    /// Edit directions enabled.
+    pub edit_mode: EditMode,
+    /// Entropy vs shuffled rankings.
+    pub sequence_mode: SequenceMode,
+    /// Policy parameterisation.
+    pub policy: PolicyKind,
+    /// RL algorithm (PPO per the paper, or A2C).
+    pub algo: RlAlgo,
+    /// Total DRL steps (graph rewiring iterations).
+    pub steps: usize,
+    /// PPO update cadence, and the "episode" length reported in traces.
+    pub update_every: usize,
+    /// Reset the state to `S_0` after each update window (strict
+    /// finite-horizon episodes). Off by default: the optimisation
+    /// continues from the current topology, which is what the paper's
+    /// smooth homophily curves (Fig. 6b) show.
+    pub reset_each_episode: bool,
+    /// Cap on GNN warm-up epochs on the original graph before the DRL
+    /// loop (early-stopped on validation accuracy).
+    pub warmup_epochs: usize,
+    /// Fine-tune epochs whenever a topology improves training accuracy
+    /// (Algorithm 1, line 12).
+    pub finetune_epochs: usize,
+    /// Per-node cap on both `k` and `d`.
+    pub k_cap: usize,
+    /// Master seed (PPO exploration noise etc. derive from sub-seeds).
+    pub seed: u64,
+}
+
+impl Default for GraphRareConfig {
+    fn default() -> Self {
+        Self {
+            entropy: RelativeEntropyConfig::default(),
+            sequences: SequenceConfig::default(),
+            model: ModelConfig::default(),
+            train: TrainConfig::default(),
+            ppo: PpoConfig::default(),
+            reward: RewardKind::default(),
+            edit_mode: EditMode::Both,
+            sequence_mode: SequenceMode::Entropy,
+            policy: PolicyKind::Global { hidden: 64 },
+            algo: RlAlgo::Ppo,
+            steps: 160,
+            update_every: 10,
+            reset_each_episode: false,
+            warmup_epochs: 40,
+            finetune_epochs: 5,
+            k_cap: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl GraphRareConfig {
+    /// A reduced-budget configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            steps: 12,
+            update_every: 4,
+            warmup_epochs: 15,
+            finetune_epochs: 3,
+            k_cap: 6,
+            ..Default::default()
+        }
+    }
+
+    /// Derives a copy with every stochastic component reseeded from
+    /// `seed` (model init, dropout, PPO, shuffles).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.model.seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        self.train.seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(2);
+        self.ppo.seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(3);
+        if let SequenceMode::Shuffled { seed: s } = &mut self.sequence_mode {
+            *s = seed.wrapping_mul(0x9e37_79b9).wrapping_add(4);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GraphRareConfig::default();
+        assert!(c.steps >= c.update_every);
+        assert!(c.k_cap > 0);
+        assert_eq!(c.edit_mode, EditMode::Both);
+        assert_eq!(c.sequence_mode, SequenceMode::Entropy);
+    }
+
+    #[test]
+    fn with_seed_reseeds_components() {
+        let a = GraphRareConfig::default().with_seed(1);
+        let b = GraphRareConfig::default().with_seed(2);
+        assert_ne!(a.model.seed, b.model.seed);
+        assert_ne!(a.ppo.seed, b.ppo.seed);
+        assert_ne!(a.model.seed, a.ppo.seed);
+    }
+
+    #[test]
+    fn fast_is_cheaper_than_default() {
+        let f = GraphRareConfig::fast();
+        let d = GraphRareConfig::default();
+        assert!(f.steps < d.steps);
+        assert!(f.warmup_epochs < d.warmup_epochs);
+    }
+}

@@ -1,0 +1,82 @@
+//! The DRL reward (Eq. 11) and its ablation alternative.
+
+/// A snapshot of GNN training-set performance at one step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfSnapshot {
+    /// Training accuracy `acc_t`.
+    pub accuracy: f64,
+    /// Training loss `loss_t`.
+    pub loss: f64,
+    /// Training macro-AUC (used by the alternative reward).
+    pub auc: f64,
+}
+
+/// Reward function selector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RewardKind {
+    /// Eq. 11: `R = (acc_t − acc_{t−1}) + λ_r (loss_{t−1} − loss_t)`.
+    AccLoss {
+        /// The `λ_r` mixing coefficient.
+        lambda_r: f64,
+    },
+    /// Table V "GCN-RARE-reward": AUC improvement instead of Eq. 11.
+    Auc,
+}
+
+impl Default for RewardKind {
+    fn default() -> Self {
+        RewardKind::AccLoss { lambda_r: 1.0 }
+    }
+}
+
+impl RewardKind {
+    /// Computes `R(S_t)` from the previous and current snapshots.
+    pub fn compute(&self, prev: &PerfSnapshot, cur: &PerfSnapshot) -> f32 {
+        match *self {
+            RewardKind::AccLoss { lambda_r } => {
+                ((cur.accuracy - prev.accuracy) + lambda_r * (prev.loss - cur.loss)) as f32
+            }
+            RewardKind::Auc => (cur.auc - prev.auc) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: PerfSnapshot = PerfSnapshot { accuracy: 0.5, loss: 1.0, auc: 0.6 };
+    const B: PerfSnapshot = PerfSnapshot { accuracy: 0.6, loss: 0.8, auc: 0.7 };
+
+    #[test]
+    fn improvement_gives_positive_reward() {
+        let r = RewardKind::default().compute(&A, &B);
+        assert!((r - 0.3).abs() < 1e-6, "r = {r}");
+    }
+
+    #[test]
+    fn regression_gives_negative_reward() {
+        let r = RewardKind::default().compute(&B, &A);
+        assert!((r + 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_r_scales_loss_term() {
+        let r = RewardKind::AccLoss { lambda_r: 0.0 }.compute(&A, &B);
+        assert!((r - 0.1).abs() < 1e-6, "accuracy term only, got {r}");
+        let r2 = RewardKind::AccLoss { lambda_r: 2.0 }.compute(&A, &B);
+        assert!((r2 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auc_reward_uses_auc_only() {
+        let r = RewardKind::Auc.compute(&A, &B);
+        assert!((r - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_change_zero_reward() {
+        assert_eq!(RewardKind::default().compute(&A, &A), 0.0);
+        assert_eq!(RewardKind::Auc.compute(&B, &B), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The graph topology optimisation module (Sec. IV-B, Fig. 4).
+//!
+//! Given the base graph, the per-node entropy sequences and a
+//! [`TopoState`], materialises the rewired graph `G_t`: for every node `v`
+//! the `d_v` lowest-entropy original neighbours are removed and the top
+//! `k_v` entropy candidates are connected.
+
+use graphrare_entropy::EntropySequences;
+use graphrare_graph::Graph;
+
+use crate::state::TopoState;
+
+/// Which edit directions are enabled (Table V's add-only / remove-only
+/// ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditMode {
+    /// Add and remove edges (full GraphRARE).
+    Both,
+    /// Only add edges ("GCN-RARE-add").
+    AddOnly,
+    /// Only remove edges ("GCN-RARE-remove").
+    RemoveOnly,
+}
+
+/// Rebuilds graph snapshots from states.
+pub struct TopologyOptimizer {
+    base: Graph,
+    sequences: EntropySequences,
+    mode: EditMode,
+}
+
+impl TopologyOptimizer {
+    /// Creates an optimiser over `base` with precomputed sequences.
+    pub fn new(base: Graph, sequences: EntropySequences, mode: EditMode) -> Self {
+        assert_eq!(base.num_nodes(), sequences.len(), "sequence/node count mismatch");
+        Self { base, sequences, mode }
+    }
+
+    /// The unmodified base graph.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The entropy sequences in use.
+    pub fn sequences(&self) -> &EntropySequences {
+        &self.sequences
+    }
+
+    /// The edit mode.
+    pub fn mode(&self) -> EditMode {
+        self.mode
+    }
+
+    /// Per-node `k` bounds implied by the sequences, capped at `cap` (and
+    /// forced to 0 when additions are disabled).
+    pub fn k_bounds(&self, cap: usize) -> Vec<u16> {
+        (0..self.base.num_nodes())
+            .map(|v| {
+                if self.mode == EditMode::RemoveOnly {
+                    0
+                } else {
+                    self.sequences.max_k(v).min(cap) as u16
+                }
+            })
+            .collect()
+    }
+
+    /// Per-node `d` bounds: never remove all of a node's neighbours (the
+    /// paper observes that disconnecting nodes hurts message passing, so
+    /// one neighbour is always kept), capped at `cap`.
+    pub fn d_bounds(&self, cap: usize) -> Vec<u16> {
+        (0..self.base.num_nodes())
+            .map(|v| {
+                if self.mode == EditMode::AddOnly {
+                    0
+                } else {
+                    self.sequences.max_d(v).saturating_sub(1).min(cap) as u16
+                }
+            })
+            .collect()
+    }
+
+    /// Materialises `G_t` from a state: deletions first (from the ranked
+    /// original neighbour lists), then additions (top-`k_v` candidates).
+    ///
+    /// Both passes are symmetric on an undirected graph: an edge is
+    /// removed if *either* endpoint selects it for deletion, and added if
+    /// either selects it for addition — additions win if both happen.
+    pub fn materialize(&self, state: &TopoState) -> Graph {
+        assert_eq!(state.num_nodes(), self.base.num_nodes(), "state size mismatch");
+        let mut g = self.base.clone();
+        if self.mode != EditMode::AddOnly {
+            for v in 0..g.num_nodes() {
+                for &(u, _) in self.sequences.deletions(v).iter().take(state.d(v)) {
+                    let u = u as usize;
+                    // A removal is skipped when it would isolate either
+                    // endpoint: the per-node `d` bounds guarantee this for
+                    // the ego node, but a neighbour's own deletions can
+                    // otherwise strip a node's last edge (the paper notes
+                    // disconnection cripples message passing).
+                    if g.degree(v) > 1 && g.degree(u) > 1 {
+                        g.remove_edge(v, u);
+                    }
+                }
+            }
+        }
+        if self.mode != EditMode::RemoveOnly {
+            for v in 0..g.num_nodes() {
+                for &(u, _) in self.sequences.additions(v).iter().take(state.k(v)) {
+                    g.add_edge(v, u as usize);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrare_entropy::{
+        EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+    };
+    use graphrare_tensor::Matrix;
+
+    fn setup(mode: EditMode) -> (TopologyOptimizer, TopoState) {
+        // Path 0-1-2-3-4-5; features make far nodes {0,5} similar.
+        let mut feats = Matrix::zeros(6, 2);
+        for v in [0usize, 5] {
+            feats.set(v, 0, 1.0);
+        }
+        for v in 1..5 {
+            feats.set(v, 1, 1.0);
+        }
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            feats,
+            vec![0, 1, 1, 1, 1, 0],
+            2,
+        );
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(
+            &g,
+            &table,
+            &SequenceConfig {
+                pool: graphrare_entropy::CandidatePool::RemoteRing { hops: 5 },
+                max_additions: 8,
+            },
+        );
+        let opt = TopologyOptimizer::new(g, seqs, mode);
+        let state = TopoState::new(opt.k_bounds(8), opt.d_bounds(8));
+        (opt, state)
+    }
+
+    #[test]
+    fn zero_state_reproduces_base() {
+        let (opt, state) = setup(EditMode::Both);
+        let g = opt.materialize(&state);
+        assert_eq!(g.edge_vec(), opt.base().edge_vec());
+    }
+
+    #[test]
+    fn additions_follow_sequence_order() {
+        let (opt, mut state) = setup(EditMode::Both);
+        state.set_k(0, 1);
+        let g = opt.materialize(&state);
+        let top = opt.sequences().additions(0)[0].0 as usize;
+        assert!(g.has_edge(0, top));
+        assert_eq!(g.num_edges(), opt.base().num_edges() + 1);
+    }
+
+    #[test]
+    fn deletions_remove_lowest_entropy_neighbors() {
+        let (opt, mut state) = setup(EditMode::Both);
+        // Node 2 has neighbours {1, 3}; d_max keeps at least one.
+        state.set_d(2, 1);
+        let g = opt.materialize(&state);
+        assert_eq!(g.num_edges(), opt.base().num_edges() - 1);
+        let removed = opt.sequences().deletions(2)[0].0 as usize;
+        assert!(!g.has_edge(2, removed));
+    }
+
+    #[test]
+    fn d_bounds_keep_one_neighbor() {
+        let (opt, _) = setup(EditMode::Both);
+        let bounds = opt.d_bounds(10);
+        for (v, &bound) in bounds.iter().enumerate() {
+            assert!(
+                (bound as usize) < opt.base().degree(v).max(1),
+                "node {v} may be fully disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn add_only_mode_never_removes() {
+        let (opt, mut state) = setup(EditMode::AddOnly);
+        assert!(opt.d_bounds(8).iter().all(|&b| b == 0));
+        state.set_k(0, 2);
+        let g = opt.materialize(&state);
+        for (u, v) in opt.base().edge_vec() {
+            assert!(g.has_edge(u, v), "edge ({u},{v}) was removed in AddOnly mode");
+        }
+    }
+
+    #[test]
+    fn remove_only_mode_never_adds() {
+        let (opt, mut state) = setup(EditMode::RemoveOnly);
+        assert!(opt.k_bounds(8).iter().all(|&b| b == 0));
+        state.set_d(2, 1);
+        let g = opt.materialize(&state);
+        assert!(g.num_edges() < opt.base().num_edges());
+        for (u, v) in g.edge_vec() {
+            assert!(opt.base().has_edge(u, v), "new edge ({u},{v}) in RemoveOnly mode");
+        }
+    }
+
+    #[test]
+    fn materialize_is_pure() {
+        let (opt, mut state) = setup(EditMode::Both);
+        state.set_k(0, 1);
+        let a = opt.materialize(&state);
+        let b = opt.materialize(&state);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+        // Base untouched.
+        assert_eq!(opt.base().num_edges(), 5);
+    }
+}

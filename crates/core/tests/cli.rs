@@ -1,0 +1,89 @@
+//! End-to-end test of the `graphrare` CLI binary: write a graph bundle,
+//! run the tool, read the optimised bundle back.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use graphrare_datasets::{generate_spec, DatasetSpec};
+use graphrare_graph::{io, metrics};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphrare-cli-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_graph() -> graphrare_graph::Graph {
+    generate_spec(
+        &DatasetSpec {
+            name: "cli",
+            num_nodes: 50,
+            num_edges: 110,
+            feat_dim: 16,
+            num_classes: 3,
+            homophily: 0.15,
+            degree_exponent: 0.3,
+            feature_signal: 0.8,
+            feature_density: 0.05,
+        },
+        1,
+    )
+}
+
+#[test]
+fn cli_optimizes_a_graph_bundle() {
+    let dir = fixture_dir("roundtrip");
+    let input = dir.join("toy");
+    let output = dir.join("toy-optimized");
+    let g = small_graph();
+    io::write_graph(&g, &input).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_graphrare"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--output",
+            output.to_str().unwrap(),
+            "--steps",
+            "16",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        status.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("test accuracy"), "missing summary: {stdout}");
+
+    let optimized = io::read_graph(&output).unwrap();
+    assert_eq!(optimized.num_nodes(), g.num_nodes());
+    assert_eq!(optimized.labels(), g.labels());
+    let h = metrics::homophily_ratio(&optimized);
+    assert!((0.0..=1.0).contains(&h));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cli_rejects_missing_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_graphrare"))
+        .args(["--input", "/nonexistent/prefix"])
+        .output()
+        .expect("CLI binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}
+
+#[test]
+fn cli_usage_on_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_graphrare"))
+        .args(["--frobnicate"])
+        .output()
+        .expect("CLI binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,263 @@
+//! Dataset specifications matched to Table II of the paper.
+//!
+//! The original benchmark files (Wikipedia crawls for Chameleon/Squirrel,
+//! WebKB pages for Cornell/Texas/Wisconsin, Planetoid citation data for
+//! Cora/Pubmed) are not redistributable here, so each dataset is described
+//! by the statistics the paper reports — node count, edge count, feature
+//! dimensionality, class count and edge homophily ratio — plus two shape
+//! parameters (degree-tail exponent and feature signal) chosen to mimic the
+//! family each dataset comes from. The generator in
+//! [`generator`](crate::generator) synthesises graphs matching these specs.
+
+/// Identifier of one of the seven paper benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Wikipedia "chameleon" page network (heterophilic, dense).
+    Chameleon,
+    /// Wikipedia "squirrel" page network (heterophilic, very dense).
+    Squirrel,
+    /// WebKB Cornell web pages (heterophilic, tiny).
+    Cornell,
+    /// WebKB Texas web pages (strongly heterophilic, tiny).
+    Texas,
+    /// WebKB Wisconsin web pages (heterophilic, tiny).
+    Wisconsin,
+    /// Cora citation network (homophilic).
+    Cora,
+    /// Pubmed citation network (homophilic, large).
+    Pubmed,
+}
+
+impl Dataset {
+    /// All seven benchmarks in the paper's Table II order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Chameleon,
+        Dataset::Squirrel,
+        Dataset::Cornell,
+        Dataset::Texas,
+        Dataset::Wisconsin,
+        Dataset::Cora,
+        Dataset::Pubmed,
+    ];
+
+    /// The five heterophilic benchmarks.
+    pub const HETEROPHILIC: [Dataset; 5] = [
+        Dataset::Chameleon,
+        Dataset::Squirrel,
+        Dataset::Cornell,
+        Dataset::Texas,
+        Dataset::Wisconsin,
+    ];
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Chameleon => "Chameleon",
+            Dataset::Squirrel => "Squirrel",
+            Dataset::Cornell => "Cornell",
+            Dataset::Texas => "Texas",
+            Dataset::Wisconsin => "Wisconsin",
+            Dataset::Cora => "Cora",
+            Dataset::Pubmed => "Pubmed",
+        }
+    }
+
+    /// Full-scale specification matching Table II.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Chameleon => DatasetSpec {
+                name: "Chameleon",
+                num_nodes: 2277,
+                num_edges: 36101,
+                feat_dim: 2325,
+                num_classes: 5,
+                homophily: 0.23,
+                degree_exponent: 0.9,
+                feature_signal: 0.35,
+                feature_density: 0.02,
+            },
+            Dataset::Squirrel => DatasetSpec {
+                name: "Squirrel",
+                num_nodes: 5201,
+                num_edges: 217_073,
+                feat_dim: 2089,
+                num_classes: 5,
+                homophily: 0.22,
+                degree_exponent: 0.95,
+                feature_signal: 0.3,
+                feature_density: 0.02,
+            },
+            Dataset::Cornell => DatasetSpec {
+                name: "Cornell",
+                num_nodes: 183,
+                num_edges: 295,
+                feat_dim: 1703,
+                num_classes: 5,
+                homophily: 0.30,
+                degree_exponent: 0.5,
+                feature_signal: 0.7,
+                feature_density: 0.03,
+            },
+            Dataset::Texas => DatasetSpec {
+                name: "Texas",
+                num_nodes: 183,
+                num_edges: 309,
+                feat_dim: 1703,
+                num_classes: 5,
+                homophily: 0.11,
+                degree_exponent: 0.5,
+                feature_signal: 0.7,
+                feature_density: 0.03,
+            },
+            Dataset::Wisconsin => DatasetSpec {
+                name: "Wisconsin",
+                num_nodes: 251,
+                num_edges: 499,
+                feat_dim: 1703,
+                num_classes: 5,
+                homophily: 0.21,
+                degree_exponent: 0.5,
+                feature_signal: 0.7,
+                feature_density: 0.03,
+            },
+            Dataset::Cora => DatasetSpec {
+                name: "Cora",
+                num_nodes: 2708,
+                num_edges: 5429,
+                feat_dim: 1433,
+                num_classes: 7,
+                homophily: 0.81,
+                degree_exponent: 0.3,
+                feature_signal: 0.5,
+                feature_density: 0.015,
+            },
+            Dataset::Pubmed => DatasetSpec {
+                name: "Pubmed",
+                num_nodes: 19717,
+                num_edges: 44338,
+                feat_dim: 500,
+                num_classes: 3,
+                homophily: 0.80,
+                degree_exponent: 0.3,
+                feature_signal: 0.55,
+                feature_density: 0.05,
+            },
+        }
+    }
+
+    /// Scaled-down specification for fast experiments.
+    ///
+    /// Node count is capped (and edge count scaled to preserve the mean
+    /// degree), feature dimensionality is capped at 128. Homophily, class
+    /// count and degree shape are preserved — the controlling variables of
+    /// every claim in the paper's evaluation.
+    pub fn spec_mini(self) -> DatasetSpec {
+        let full = self.spec();
+        let cap = match self {
+            Dataset::Cornell | Dataset::Texas | Dataset::Wisconsin => full.num_nodes,
+            Dataset::Squirrel => 240,
+            _ => 300,
+        };
+        full.scaled(cap, 128)
+    }
+}
+
+/// Parameters controlling one synthetic benchmark graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// Target number of undirected edges `|E|`.
+    pub num_edges: usize,
+    /// Feature dimensionality `d`.
+    pub feat_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Target edge homophily ratio `H` (Eq. 1).
+    pub homophily: f64,
+    /// Degree-propensity tail exponent: 0 = uniform degrees, larger =
+    /// heavier tail (Wikipedia graphs are heavy-tailed).
+    pub degree_exponent: f64,
+    /// Probability boost for class-specific feature coordinates; larger
+    /// means features are more label-informative (WebKB-like).
+    pub feature_signal: f64,
+    /// Base activation rate of the sparse binary features.
+    pub feature_density: f64,
+}
+
+impl DatasetSpec {
+    /// Returns a spec scaled to at most `max_nodes` nodes (mean degree
+    /// preserved) and at most `max_feat` feature dimensions.
+    pub fn scaled(&self, max_nodes: usize, max_feat: usize) -> DatasetSpec {
+        if self.num_nodes <= max_nodes && self.feat_dim <= max_feat {
+            return *self;
+        }
+        let nodes = self.num_nodes.min(max_nodes);
+        let ratio = nodes as f64 / self.num_nodes as f64;
+        let edges = ((self.num_edges as f64 * ratio).round() as usize).max(nodes);
+        DatasetSpec {
+            num_nodes: nodes,
+            num_edges: edges,
+            feat_dim: self.feat_dim.min(max_feat),
+            ..*self
+        }
+    }
+
+    /// Mean degree implied by the spec.
+    pub fn mean_degree(&self) -> f64 {
+        2.0 * self.num_edges as f64 / self.num_nodes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics_are_exact() {
+        let c = Dataset::Chameleon.spec();
+        assert_eq!((c.num_nodes, c.num_edges, c.feat_dim, c.num_classes), (2277, 36101, 2325, 5));
+        let p = Dataset::Pubmed.spec();
+        assert_eq!((p.num_nodes, p.num_edges, p.feat_dim, p.num_classes), (19717, 44338, 500, 3));
+        assert!((Dataset::Texas.spec().homophily - 0.11).abs() < 1e-9);
+        assert!((Dataset::Cora.spec().homophily - 0.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_lists_every_dataset_once() {
+        assert_eq!(Dataset::ALL.len(), 7);
+        let names: std::collections::HashSet<_> =
+            Dataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn mini_preserves_mean_degree_and_homophily() {
+        for d in Dataset::ALL {
+            let full = d.spec();
+            let mini = d.spec_mini();
+            assert!(mini.num_nodes <= full.num_nodes);
+            assert_eq!(mini.num_classes, full.num_classes);
+            assert_eq!(mini.homophily, full.homophily);
+            if mini.num_nodes < full.num_nodes {
+                let rel = (mini.mean_degree() - full.mean_degree()).abs() / full.mean_degree();
+                assert!(rel < 0.15, "{}: mean degree drifted {rel}", full.name);
+            }
+        }
+    }
+
+    #[test]
+    fn webkb_minis_are_full_size() {
+        assert_eq!(Dataset::Cornell.spec_mini().num_nodes, 183);
+        assert_eq!(Dataset::Texas.spec_mini().num_nodes, 183);
+        assert_eq!(Dataset::Wisconsin.spec_mini().num_nodes, 251);
+    }
+
+    #[test]
+    fn scaled_noop_when_under_caps() {
+        let s = Dataset::Cornell.spec();
+        assert_eq!(s.scaled(10_000, 10_000), s);
+    }
+}

@@ -1,0 +1,47 @@
+//! # graphrare-entropy
+//!
+//! The node relative entropy of the GraphRARE paper (Sec. IV-A):
+//!
+//! * [`feature`] — node feature entropy `H_f` (Eqs. 3–4): softmax-normalised
+//!   embedding dot products, `−P log P`.
+//! * [`structural`] — node structural entropy `H_s` (Eqs. 5–8):
+//!   `1 − JS(p(v) ‖ p(u))` over normalised local degree profiles.
+//! * [`relative`] — the combined metric `H = H_f + λ·H_s` (Eq. 9),
+//!   precomputed once before training.
+//! * [`sequences`] — per-node ranked addition/deletion candidate lists
+//!   (Sec. IV-A.4), the interface consumed by the topology optimiser.
+//!
+//! ```
+//! use graphrare_entropy::prelude::*;
+//! use graphrare_graph::Graph;
+//! use graphrare_tensor::Matrix;
+//!
+//! let mut feats = Matrix::zeros(4, 2);
+//! feats.set(0, 0, 1.0);
+//! feats.set(1, 0, 1.0); // nodes 0 and 1 share features
+//! feats.set(2, 1, 1.0);
+//! feats.set(3, 1, 1.0);
+//! let g = Graph::from_edges(4, &[(0, 2), (2, 1), (1, 3)], feats, vec![0, 0, 1, 1], 2);
+//!
+//! let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+//! let seqs = EntropySequences::build(&g, &table, &SequenceConfig::default());
+//! // Node 0's remote candidates are ranked by descending entropy.
+//! assert!(!seqs.additions(0).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod feature;
+pub mod relative;
+pub mod sequences;
+pub mod structural;
+
+/// Convenient re-exports of the main types.
+pub mod prelude {
+    pub use crate::feature::{Embedding, FeatureEntropyTable, Normalization};
+    pub use crate::relative::{RelativeEntropyConfig, RelativeEntropyTable};
+    pub use crate::sequences::{CandidatePool, EntropySequences, SequenceConfig};
+    pub use crate::structural::{structural_entropy, StructuralEntropyTable};
+}
+
+pub use prelude::*;

@@ -1,0 +1,249 @@
+//! Node relative entropy `H(v, u) = H_f(v, u) + λ·H_s(v, u)` (Eq. 9).
+
+use graphrare_graph::Graph;
+use graphrare_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::feature::{Embedding, FeatureEntropyTable, Normalization};
+use crate::structural::StructuralEntropyTable;
+
+/// Configuration of the relative-entropy computation.
+#[derive(Clone, Copy, Debug)]
+pub struct RelativeEntropyConfig {
+    /// The paper's `λ` (Eq. 9) weighting structural entropy; Table IV
+    /// sweeps {0.1, 0.5, 1.0, 10.0} and settles on 1.0.
+    pub lambda: f64,
+    /// Embedding function `φ` of Eq. (3).
+    pub embedding: Embedding,
+    /// Normaliser strategy for the global pair softmax.
+    pub normalization: Normalization,
+    /// Rescale the feature entropy to `[0, 1]` over the graph so that
+    /// `λ = 1` weighs the two terms comparably. `H_s` is already in
+    /// `[0, 1]` by construction (Eq. 8), while raw `H_f = −P log P`
+    /// values scale like `(log N²)/N²` — without rescaling the λ-sweep
+    /// semantics of Table IV (λ=0.1 ≈ feature-only, λ=10 ≈
+    /// structure-only) cannot hold. The rescale is min–max in the *log*
+    /// domain (`log P`, i.e. the pairwise dot products), which orders
+    /// pairs identically to Eq. 4 but spreads them evenly instead of
+    /// letting one high-dot pair exponentially squash all others.
+    /// Enabled by default.
+    pub rescale_feature: bool,
+}
+
+impl Default for RelativeEntropyConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1.0,
+            embedding: Embedding::Identity,
+            normalization: Normalization::Auto,
+            rescale_feature: true,
+        }
+    }
+}
+
+/// Precomputed pairwise node relative entropy.
+///
+/// Built once before training (Algorithm 1, lines 1–5); queries are `O(h +
+/// M)` per pair.
+pub struct RelativeEntropyTable {
+    feature: FeatureEntropyTable,
+    structural: StructuralEntropyTable,
+    lambda: f64,
+    rescaled: bool,
+    f_offset: f64,
+    f_scale: f64,
+}
+
+impl RelativeEntropyTable {
+    /// Computes both entropy components for `g`.
+    pub fn new(g: &Graph, cfg: &RelativeEntropyConfig) -> Self {
+        let feature = FeatureEntropyTable::new(g, cfg.embedding, cfg.normalization);
+        let structural = StructuralEntropyTable::new(g);
+        let (f_offset, f_scale) = if cfg.rescale_feature {
+            feature_range(&feature, g.num_nodes())
+        } else {
+            (0.0, 1.0)
+        };
+        Self {
+            feature,
+            structural,
+            lambda: cfg.lambda,
+            rescaled: cfg.rescale_feature,
+            f_offset,
+            f_scale,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.structural.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.structural.is_empty()
+    }
+
+    /// The λ in use.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Feature entropy `H_f(v, u)` after optional rescaling (see
+    /// [`RelativeEntropyConfig::rescale_feature`]); without rescaling this
+    /// is exactly Eq. 4's `−P log P`.
+    pub fn feature_entropy(&self, v: usize, u: usize) -> f64 {
+        if self.rescaled {
+            ((self.feature.log_prob(v, u) - self.f_offset) * self.f_scale).clamp(0.0, 1.0)
+        } else {
+            self.feature.entropy(v, u)
+        }
+    }
+
+    /// Structural entropy `H_s(v, u)` (Eq. 8).
+    pub fn structural_entropy(&self, v: usize, u: usize) -> f64 {
+        self.structural.entropy(v, u)
+    }
+
+    /// Node relative entropy `H(v, u)` (Eq. 9).
+    pub fn entropy(&self, v: usize, u: usize) -> f64 {
+        self.feature_entropy(v, u) + self.lambda * self.structural_entropy(v, u)
+    }
+
+    /// Dense `N x N` matrix of `H(v, u)` values (Fig. 8 visualisation;
+    /// intended for small graphs).
+    pub fn dense_matrix(&self) -> Matrix {
+        let n = self.len();
+        let mut m = Matrix::zeros(n, n);
+        for v in 0..n {
+            for u in v..n {
+                let h = self.entropy(v, u) as f32;
+                m.set(v, u, h);
+                m.set(u, v, h);
+            }
+        }
+        m
+    }
+}
+
+/// Min–max range of `log P` over the graph's off-diagonal pairs: exact
+/// for small graphs, estimated from 100k sampled pairs otherwise.
+/// Returns `(offset, scale)` such that `(log_p - offset) * scale ∈ [0, 1]`.
+fn feature_range(feature: &FeatureEntropyTable, n: usize) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut observe = |h: f64| {
+        lo = lo.min(h);
+        hi = hi.max(h);
+    };
+    // The diagonal is excluded: self-dots of sparse bag-of-words features
+    // are far larger than any cross-pair dot and would squash every real
+    // candidate pair into a sliver of the unit interval.
+    if n <= 1200 {
+        for v in 0..n {
+            for u in (v + 1)..n {
+                observe(feature.log_prob(v, u));
+            }
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(0xfea7);
+        for _ in 0..100_000 {
+            let v = rng.gen_range(0..n);
+            let u = rng.gen_range(0..n);
+            if v != u {
+                observe(feature.log_prob(v, u));
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-300 {
+        (0.0, 1.0)
+    } else {
+        (lo, 1.0 / (hi - lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrare_tensor::Matrix;
+
+    fn two_block_graph() -> Graph {
+        // Nodes 0-2 share features & labels; 3-5 share different ones.
+        let mut feats = Matrix::zeros(6, 4);
+        for v in 0..3 {
+            feats.set(v, 0, 1.0);
+            feats.set(v, 1, 1.0);
+        }
+        for v in 3..6 {
+            feats.set(v, 2, 1.0);
+            feats.set(v, 3, 1.0);
+        }
+        Graph::from_edges(
+            6,
+            &[(0, 3), (1, 4), (2, 5), (0, 1), (3, 4)],
+            feats,
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn entropy_combines_components_linearly() {
+        let g = two_block_graph();
+        let cfg = RelativeEntropyConfig { lambda: 2.0, ..Default::default() };
+        let t = RelativeEntropyTable::new(&g, &cfg);
+        let h = t.entropy(0, 1);
+        let want = t.feature_entropy(0, 1) + 2.0 * t.structural_entropy(0, 1);
+        assert!((h - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_block_pairs_rank_higher() {
+        let g = two_block_graph();
+        let t = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        assert!(
+            t.entropy(0, 1) > t.entropy(0, 4),
+            "same-block {} vs cross-block {}",
+            t.entropy(0, 1),
+            t.entropy(0, 4)
+        );
+    }
+
+    #[test]
+    fn rescaled_feature_entropy_in_unit_interval() {
+        let g = two_block_graph();
+        let t = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        for v in 0..6 {
+            for u in 0..6 {
+                let f = t.feature_entropy(v, u);
+                assert!((0.0..=1.0).contains(&f), "H_f({v},{u}) = {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_is_feature_only() {
+        let g = two_block_graph();
+        let cfg = RelativeEntropyConfig { lambda: 0.0, ..Default::default() };
+        let t = RelativeEntropyTable::new(&g, &cfg);
+        for v in 0..6 {
+            for u in 0..6 {
+                assert_eq!(t.entropy(v, u), t.feature_entropy(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matrix_is_symmetric() {
+        let g = two_block_graph();
+        let t = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let m = t.dense_matrix();
+        assert_eq!(m.shape(), (6, 6));
+        for v in 0..6 {
+            for u in 0..6 {
+                assert_eq!(m.get(v, u), m.get(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Node entropy sequences (Sec. IV-A.4).
+//!
+//! For every node GraphRARE maintains two ranked lists built from the
+//! relative entropy:
+//!
+//! * **additions** — remote candidates (distance ≥ 2) sorted by
+//!   *descending* `H`; connecting the top-`k_v` of them is how the
+//!   topology optimiser adds edges;
+//! * **deletions** — current one-hop neighbours sorted by *ascending* `H`;
+//!   removing the first `d_v` discards the least-related neighbours.
+//!
+//! The candidate pool is configurable: a BFS remote ring (the common case;
+//! "semantically related nodes might be multi-hop away") or a global
+//! sample for graphs whose rings explode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphrare_graph::{traversal, Graph};
+
+use crate::relative::RelativeEntropyTable;
+
+/// Where addition candidates come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidatePool {
+    /// Nodes at BFS distance in `[2, hops]` from the ego node.
+    RemoteRing {
+        /// Maximum hop distance considered.
+        hops: usize,
+    },
+    /// A seeded uniform sample of non-neighbour nodes (used when rings are
+    /// too dense, e.g. Squirrel-like graphs).
+    GlobalSample {
+        /// Candidates sampled per node.
+        per_node: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// Configuration of sequence construction.
+#[derive(Clone, Copy, Debug)]
+pub struct SequenceConfig {
+    /// Candidate pool for additions.
+    pub pool: CandidatePool,
+    /// Keep at most this many ranked addition candidates per node (the DRL
+    /// agent's `k` can never exceed it).
+    pub max_additions: usize,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> Self {
+        Self { pool: CandidatePool::RemoteRing { hops: 3 }, max_additions: 16 }
+    }
+}
+
+/// Per-node ranked addition and deletion candidates.
+#[derive(Clone, Debug)]
+pub struct EntropySequences {
+    additions: Vec<Vec<(u32, f32)>>,
+    deletions: Vec<Vec<(u32, f32)>>,
+}
+
+impl EntropySequences {
+    /// Builds sequences for every node of `g` from a precomputed entropy
+    /// table.
+    pub fn build(g: &Graph, table: &RelativeEntropyTable, cfg: &SequenceConfig) -> Self {
+        let n = g.num_nodes();
+        let mut additions = Vec::with_capacity(n);
+        let mut deletions = Vec::with_capacity(n);
+        let mut sample_rng = match cfg.pool {
+            CandidatePool::GlobalSample { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            CandidatePool::RemoteRing { .. } => None,
+        };
+        for v in 0..n {
+            let candidates: Vec<usize> = match cfg.pool {
+                CandidatePool::RemoteRing { hops } => traversal::remote_ring(g, v, hops),
+                CandidatePool::GlobalSample { per_node, .. } => {
+                    let rng = sample_rng.as_mut().expect("sampler present");
+                    sample_non_neighbors(g, v, per_node, rng)
+                }
+            };
+            let mut ranked: Vec<(u32, f32)> = candidates
+                .into_iter()
+                .map(|u| (u as u32, table.entropy(v, u) as f32))
+                .collect();
+            // Descending entropy; node id breaks ties deterministically.
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            ranked.truncate(cfg.max_additions);
+            additions.push(ranked);
+
+            let mut dels: Vec<(u32, f32)> = g
+                .neighbors(v)
+                .map(|u| (u as u32, table.entropy(v, u) as f32))
+                .collect();
+            // Ascending entropy: least-related first.
+            dels.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            deletions.push(dels);
+        }
+        Self { additions, deletions }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.additions.len()
+    }
+
+    /// Whether the sequences are empty.
+    pub fn is_empty(&self) -> bool {
+        self.additions.is_empty()
+    }
+
+    /// Ranked addition candidates of node `v` (descending entropy).
+    pub fn additions(&self, v: usize) -> &[(u32, f32)] {
+        &self.additions[v]
+    }
+
+    /// Ranked deletion candidates of node `v` (ascending entropy), as of
+    /// sequence-construction time.
+    pub fn deletions(&self, v: usize) -> &[(u32, f32)] {
+        &self.deletions[v]
+    }
+
+    /// Largest usable `k` for node `v`.
+    pub fn max_k(&self, v: usize) -> usize {
+        self.additions[v].len()
+    }
+
+    /// Largest usable `d` for node `v`.
+    pub fn max_d(&self, v: usize) -> usize {
+        self.deletions[v].len()
+    }
+
+    /// The GCN-RA ablation ("GraphRARE without relative entropy"): returns
+    /// a copy whose per-node addition and deletion orders are randomly
+    /// shuffled, destroying the entropy ranking while keeping the pools.
+    pub fn shuffled(&self, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffle = |list: &Vec<(u32, f32)>| {
+            let mut l = list.clone();
+            for i in (1..l.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                l.swap(i, j);
+            }
+            l
+        };
+        Self {
+            additions: self.additions.iter().map(&mut shuffle).collect(),
+            deletions: self.deletions.iter().map(&mut shuffle).collect(),
+        }
+    }
+}
+
+/// Uniform sample (without replacement) of up to `count` nodes that are
+/// neither `v` nor its current neighbours.
+fn sample_non_neighbors(g: &Graph, v: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut out = Vec::with_capacity(count);
+    let mut tried = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 20 && tried.len() + g.degree(v) + 1 < n {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        if u == v || g.has_edge(v, u) || !tried.insert(u) {
+            continue;
+        }
+        out.push(u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relative::{RelativeEntropyConfig, RelativeEntropyTable};
+    use graphrare_tensor::Matrix;
+
+    fn sample_graph() -> Graph {
+        // Path 0-1-2-3-4 plus a chord 0-4 keeps rings interesting.
+        let mut feats = Matrix::zeros(5, 3);
+        for v in 0..5 {
+            feats.set(v, v % 3, 1.0);
+        }
+        Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+            feats,
+            vec![0, 1, 2, 0, 1],
+            3,
+        )
+    }
+
+    fn build(cfg: &SequenceConfig) -> (Graph, EntropySequences) {
+        let g = sample_graph();
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(&g, &table, cfg);
+        (g, seqs)
+    }
+
+    #[test]
+    fn additions_exclude_self_and_neighbors() {
+        let (g, seqs) = build(&SequenceConfig::default());
+        for v in 0..g.num_nodes() {
+            for &(u, _) in seqs.additions(v) {
+                let u = u as usize;
+                assert_ne!(u, v);
+                assert!(!g.has_edge(v, u), "candidate {u} already adjacent to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn additions_sorted_descending() {
+        let (_, seqs) = build(&SequenceConfig::default());
+        for v in 0..seqs.len() {
+            let adds = seqs.additions(v);
+            for w in adds.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_cover_neighbors_ascending() {
+        let (g, seqs) = build(&SequenceConfig::default());
+        for v in 0..g.num_nodes() {
+            let dels = seqs.deletions(v);
+            assert_eq!(dels.len(), g.degree(v));
+            for w in dels.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn max_additions_truncates() {
+        let cfg = SequenceConfig { max_additions: 1, ..Default::default() };
+        let (_, seqs) = build(&cfg);
+        for v in 0..seqs.len() {
+            assert!(seqs.max_k(v) <= 1);
+        }
+    }
+
+    #[test]
+    fn global_sample_respects_constraints() {
+        let cfg = SequenceConfig {
+            pool: CandidatePool::GlobalSample { per_node: 2, seed: 5 },
+            max_additions: 16,
+        };
+        let (g, seqs) = build(&cfg);
+        for v in 0..g.num_nodes() {
+            assert!(seqs.additions(v).len() <= 2);
+            for &(u, _) in seqs.additions(v) {
+                assert!(!g.has_edge(v, u as usize));
+                assert_ne!(u as usize, v);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let (_, seqs) = build(&SequenceConfig::default());
+        let shuffled = seqs.shuffled(9);
+        for v in 0..seqs.len() {
+            let mut a: Vec<u32> = seqs.additions(v).iter().map(|&(u, _)| u).collect();
+            let mut b: Vec<u32> = shuffled.additions(v).iter().map(|&(u, _)| u).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn shuffled_changes_order_somewhere() {
+        let (_, seqs) = build(&SequenceConfig::default());
+        let shuffled = seqs.shuffled(1);
+        let changed = (0..seqs.len()).any(|v| {
+            seqs.additions(v).iter().map(|&(u, _)| u).collect::<Vec<_>>()
+                != shuffled.additions(v).iter().map(|&(u, _)| u).collect::<Vec<_>>()
+        });
+        assert!(changed, "shuffle left every sequence identical");
+    }
+}

@@ -1,0 +1,30 @@
+//! # graphrare-gnn
+//!
+//! GNN backbones and training harness for the GraphRARE workspace. The
+//! paper enhances four standard backbones — GCN, GraphSAGE, GAT and H2GCN
+//! — and compares against an attribute-only MLP; all five live here,
+//! implemented from their defining equations on the `graphrare-tensor`
+//! autograd substrate.
+//!
+//! * [`model`] — the [`GnnModel`] trait plus
+//!   [`GraphTensors`], the per-topology operator
+//!   cache that lets one set of weights keep training while GraphRARE
+//!   rewires the graph under it.
+//! * [`models`] — the five backbones and a
+//!   [`build_model`] factory.
+//! * [`trainer`] — full-batch training with validation-based early
+//!   stopping (the paper's Sec. V-C protocol).
+//! * [`metrics`] — accuracy and macro ROC-AUC (the alternative-reward
+//!   ablation's metric).
+
+#![warn(missing_docs)]
+
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod models;
+pub mod trainer;
+
+pub use model::{Backbone, GnnModel, GraphTensors};
+pub use models::{build_model, Gat, Gcn, GraphSage, H2gcn, Mlp, ModelConfig};
+pub use trainer::{evaluate, fit, EvalResult, FitReport, TrainConfig, Trainer};

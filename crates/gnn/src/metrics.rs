@@ -1,0 +1,122 @@
+//! Classification metrics: accuracy and macro one-vs-rest AUC.
+
+use graphrare_tensor::Matrix;
+
+/// Accuracy of `logits` against `labels` over the nodes in `mask`.
+pub fn accuracy(logits: &Matrix, labels: &[usize], mask: &[usize]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    let pred = logits.row_argmax();
+    let correct = mask.iter().filter(|&&i| pred[i] == labels[i]).count();
+    correct as f64 / mask.len() as f64
+}
+
+/// Macro-averaged one-vs-rest ROC-AUC over the nodes in `mask`, computed
+/// rank-based (Mann–Whitney U). Classes absent from the mask (no positives
+/// or no negatives) are skipped; returns 0.5 if nothing is scorable.
+///
+/// Used by the paper's alternative-reward ablation (Table V,
+/// "GCN-RARE-reward").
+pub fn macro_auc(logits: &Matrix, labels: &[usize], mask: &[usize], num_classes: usize) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for class in 0..num_classes {
+        let mut scored: Vec<(f32, bool)> = mask
+            .iter()
+            .map(|&i| (logits.get(i, class), labels[i] == class))
+            .collect();
+        let pos = scored.iter().filter(|&&(_, p)| p).count();
+        let neg = scored.len() - pos;
+        if pos == 0 || neg == 0 {
+            continue;
+        }
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Average ranks with tie handling.
+        let mut rank_sum_pos = 0.0f64;
+        let mut i = 0;
+        while i < scored.len() {
+            let mut j = i;
+            while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+                j += 1;
+            }
+            let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+            for item in &scored[i..=j] {
+                if item.1 {
+                    rank_sum_pos += avg_rank;
+                }
+            }
+            i = j + 1;
+        }
+        let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+        total += u / (pos as f64 * neg as f64);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.5
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_perfect_and_zero() {
+        let logits = Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 5.0, 3.0, 1.0]);
+        // Predictions: 0, 1, 0.
+        assert_eq!(accuracy(&logits, &[0, 1, 0], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0, 1], &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_respects_mask() {
+        let logits = Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 5.0, 3.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 0, 0], &[0, 2]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0, 0], &[1]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0, 0], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        // Class-0 scores separate positives (rows 0,1) from negatives.
+        let logits = Matrix::from_vec(4, 2, vec![
+            0.9, 0.1, //
+            0.8, 0.2, //
+            0.1, 0.9, //
+            0.2, 0.8,
+        ]);
+        let auc = macro_auc(&logits, &[0, 0, 1, 1], &[0, 1, 2, 3], 2);
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Identical scores for everyone: ties give AUC 0.5.
+        let logits = Matrix::filled(4, 2, 0.5);
+        let auc = macro_auc(&logits, &[0, 0, 1, 1], &[0, 1, 2, 3], 2);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let logits = Matrix::from_vec(4, 2, vec![
+            0.1, 0.9, //
+            0.2, 0.8, //
+            0.9, 0.1, //
+            0.8, 0.2,
+        ]);
+        let auc = macro_auc(&logits, &[0, 0, 1, 1], &[0, 1, 2, 3], 2);
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_skips_unscorable_classes() {
+        // Only class 0 present in the mask: nothing scorable => 0.5.
+        let logits = Matrix::filled(2, 2, 0.0);
+        let auc = macro_auc(&logits, &[0, 0], &[0, 1], 2);
+        assert_eq!(auc, 0.5);
+    }
+}

@@ -1,0 +1,169 @@
+//! The [`GnnModel`] trait and the per-topology operator cache.
+
+use std::cell::OnceCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use graphrare_graph::{ops, Graph};
+use graphrare_tensor::{AdjList, CsrMatrix, Matrix, Param, Tape, Var};
+
+/// A snapshot of one graph topology with lazily built propagation
+/// operators.
+///
+/// GraphRARE re-trains the GNN on a *changing* topology (`G_t`, `G_{t+1}`,
+/// …); every snapshot gets its own `GraphTensors` so cached operators can
+/// never leak across topologies. Operators are built on first use: a GCN
+/// never pays for the two-hop operator H2GCN needs.
+pub struct GraphTensors {
+    graph: Graph,
+    features: Rc<Matrix>,
+    gcn: OnceCell<Rc<CsrMatrix>>,
+    row: OnceCell<Rc<CsrMatrix>>,
+    two_hop: OnceCell<Rc<CsrMatrix>>,
+    attn: OnceCell<Rc<AdjList>>,
+}
+
+impl GraphTensors {
+    /// Snapshots `g` (topology and features).
+    pub fn new(g: &Graph) -> Self {
+        Self {
+            graph: g.clone(),
+            features: Rc::new(g.features().clone()),
+            gcn: OnceCell::new(),
+            row: OnceCell::new(),
+            two_hop: OnceCell::new(),
+            attn: OnceCell::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The snapshotted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node features (shared).
+    pub fn features(&self) -> Rc<Matrix> {
+        self.features.clone()
+    }
+
+    /// GCN-normalised operator `D̂^{-1/2}(A+I)D̂^{-1/2}`.
+    pub fn gcn_norm(&self) -> Rc<CsrMatrix> {
+        self.gcn.get_or_init(|| Rc::new(ops::gcn_norm(&self.graph))).clone()
+    }
+
+    /// Row-normalised adjacency `D^{-1}A`.
+    pub fn row_norm(&self) -> Rc<CsrMatrix> {
+        self.row.get_or_init(|| Rc::new(ops::row_norm_adj(&self.graph))).clone()
+    }
+
+    /// Row-normalised strict two-hop operator (H2GCN's `N_2`).
+    pub fn two_hop(&self) -> Rc<CsrMatrix> {
+        self.two_hop.get_or_init(|| Rc::new(ops::row_norm_two_hop(&self.graph))).clone()
+    }
+
+    /// Attention neighbour lists (self + one-hop) for GAT.
+    pub fn attention(&self) -> Rc<AdjList> {
+        self.attn.get_or_init(|| Rc::new(ops::attention_lists(&self.graph))).clone()
+    }
+}
+
+/// A trainable node-classification GNN.
+///
+/// Models are topology-agnostic: `forward` receives the operator cache for
+/// whatever snapshot the caller is currently training on, which is how the
+/// same weights continue training across GraphRARE's rewiring steps.
+pub trait GnnModel {
+    /// Runs a forward pass and returns `n x num_classes` logits.
+    ///
+    /// `train` enables dropout (using `rng` for masks); evaluation passes
+    /// run deterministically with `train = false`.
+    fn forward(&self, tape: &mut Tape, gt: &GraphTensors, train: bool, rng: &mut StdRng) -> Var;
+
+    /// All trainable parameters.
+    fn params(&self) -> Vec<Param>;
+
+    /// Short display name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Total number of scalar weights.
+    fn num_weights(&self) -> usize {
+        self.params().iter().map(Param::len).sum()
+    }
+}
+
+/// Backbone selector used by experiment harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backbone {
+    /// Feature-only multilayer perceptron.
+    Mlp,
+    /// Graph convolutional network (Kipf & Welling 2017).
+    Gcn,
+    /// GraphSAGE with mean aggregation (Hamilton et al. 2017).
+    Sage,
+    /// Graph attention network (Veličković et al. 2018).
+    Gat,
+    /// H2GCN (Zhu et al. 2020).
+    H2gcn,
+}
+
+impl Backbone {
+    /// The four backbones the paper wraps with GraphRARE, plus MLP.
+    pub const ALL: [Backbone; 5] =
+        [Backbone::Mlp, Backbone::Gcn, Backbone::Sage, Backbone::Gat, Backbone::H2gcn];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backbone::Mlp => "MLP",
+            Backbone::Gcn => "GCN",
+            Backbone::Sage => "GraphSAGE",
+            Backbone::Gat => "GAT",
+            Backbone::H2gcn => "H2GCN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::from_fn(4, 3, |r, c| ((r + c) % 2) as f32),
+            vec![0, 1, 0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn tensors_cache_is_shared() {
+        let gt = GraphTensors::new(&toy());
+        let a = gt.gcn_norm();
+        let b = gt.gcn_norm();
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_isolated_from_source_mutation() {
+        let mut g = toy();
+        let gt = GraphTensors::new(&g);
+        let before = gt.gcn_norm();
+        g.add_edge(0, 3);
+        // The snapshot's operator is unaffected by later edits.
+        assert_eq!(*before, *GraphTensors::new(&toy()).gcn_norm());
+    }
+
+    #[test]
+    fn backbone_names() {
+        assert_eq!(Backbone::Gcn.name(), "GCN");
+        assert_eq!(Backbone::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! The GNN backbones evaluated in the paper.
+
+pub mod gat;
+pub mod gcn;
+pub mod h2gcn;
+pub mod mlp;
+pub mod sage;
+
+pub use gat::Gat;
+pub use gcn::Gcn;
+pub use h2gcn::H2gcn;
+pub use mlp::Mlp;
+pub use sage::GraphSage;
+
+use crate::model::{Backbone, GnnModel};
+
+/// Hyper-parameters shared by every backbone (paper Sec. V-C).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Hidden width (paper selects from {48, 64, 128}).
+    pub hidden: usize,
+    /// Dropout rate (paper: 0.5).
+    pub dropout: f32,
+    /// Attention heads for GAT.
+    pub gat_heads: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { hidden: 48, dropout: 0.5, gat_heads: 4, seed: 0 }
+    }
+}
+
+/// Instantiates a backbone for a dataset shape.
+pub fn build_model(
+    backbone: Backbone,
+    in_dim: usize,
+    out_dim: usize,
+    cfg: &ModelConfig,
+) -> Box<dyn GnnModel> {
+    match backbone {
+        Backbone::Mlp => Box::new(Mlp::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed)),
+        Backbone::Gcn => Box::new(Gcn::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed)),
+        Backbone::Sage => {
+            Box::new(GraphSage::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed))
+        }
+        Backbone::Gat => {
+            let hidden = cfg.hidden - cfg.hidden % cfg.gat_heads;
+            Box::new(Gat::new(in_dim, hidden, out_dim, cfg.gat_heads, cfg.dropout, cfg.seed))
+        }
+        Backbone::H2gcn => {
+            Box::new(H2gcn::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GraphTensors;
+    use graphrare_graph::Graph;
+    use graphrare_tensor::{Matrix, Tape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factory_builds_every_backbone() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            Matrix::from_fn(6, 5, |r, c| ((r + c) % 2) as f32),
+            vec![0, 1, 2, 0, 1, 2],
+            3,
+        );
+        let gt = GraphTensors::new(&g);
+        let cfg = ModelConfig::default();
+        for b in Backbone::ALL {
+            let m = build_model(b, 5, 3, &cfg);
+            let mut t = Tape::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let y = m.forward(&mut t, &gt, false, &mut rng);
+            assert_eq!(t.value(y).shape(), (6, 3), "{}", m.name());
+            assert!(m.num_weights() > 0);
+        }
+    }
+}

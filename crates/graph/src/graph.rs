@@ -1,0 +1,262 @@
+//! The attributed graph type `G = (V, E, X, A)` from the paper's Table I.
+
+use graphrare_tensor::Matrix;
+use std::collections::BTreeSet;
+
+/// An undirected attributed graph with node labels.
+///
+/// Matches the paper's formulation `G = (V, E, X, A)`: `n` nodes, an
+/// undirected edge set, an `n x d` feature matrix and per-node class
+/// labels. Adjacency is stored as per-node sorted neighbour sets
+/// (`BTreeSet`) so that topology edits — the core operation of GraphRARE's
+/// optimisation module — are `O(log deg)` and iteration order is
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<BTreeSet<usize>>,
+    num_edges: usize,
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    ///
+    /// # Panics
+    /// Panics if `features` does not have `n` rows, `labels` does not have
+    /// `n` entries, or a label is `>= num_classes`.
+    pub fn new(n: usize, features: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.rows(), n, "feature matrix must have n rows");
+        assert_eq!(labels.len(), n, "labels must have n entries");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < num_classes"
+        );
+        Self { adj: vec![BTreeSet::new(); n], num_edges: 0, features, labels, num_classes }
+    }
+
+    /// Creates a graph from an undirected edge list (duplicates and
+    /// self-loops are ignored).
+    pub fn from_edges(
+        n: usize,
+        edges: &[(usize, usize)],
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        let mut g = Self::new(n, features, labels, num_classes);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The `n x d` node feature matrix.
+    #[inline]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Node feature dimensionality `d`.
+    #[inline]
+    pub fn feat_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Per-node class labels.
+    #[inline]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v]
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Sorted iterator over the one-hop neighbours of `v` (the paper's
+    /// `N_1(v)`).
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// One-hop neighbours of `v` collected into a `Vec`.
+    pub fn neighbor_vec(&self, v: usize) -> Vec<usize> {
+        self.adj[v].iter().copied().collect()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
+    /// newly inserted; self-loops are rejected.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v || u >= self.adj.len() || v >= self.adj.len() {
+            return false;
+        }
+        if self.adj[u].insert(v) {
+            self.adj[v].insert(u);
+            self.num_edges += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.adj.len() || v >= self.adj.len() {
+            return false;
+        }
+        if self.adj[u].remove(&v) {
+            self.adj[v].remove(&u);
+            self.num_edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+    }
+
+    /// All undirected edges collected into a `Vec`.
+    pub fn edge_vec(&self) -> Vec<(usize, usize)> {
+        self.edges().collect()
+    }
+
+    /// Replaces the feature matrix (e.g. with a precomputed embedding).
+    ///
+    /// # Panics
+    /// Panics if the row count changes.
+    pub fn set_features(&mut self, features: Matrix) {
+        assert_eq!(features.rows(), self.num_nodes(), "set_features: row count mismatch");
+        self.features = features;
+    }
+
+    /// The descending degree sequence `d(v)` of Eq. (5): degrees of `v` and
+    /// its one-hop neighbours, sorted in descending order.
+    pub fn degree_profile(&self, v: usize) -> Vec<usize> {
+        let mut seq: Vec<usize> = std::iter::once(self.degree(v))
+            .chain(self.neighbors(v).map(|u| self.degree(u)))
+            .collect();
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges, Matrix::zeros(n, 2), vec![0; n], 1)
+    }
+
+    #[test]
+    fn add_remove_edge_roundtrip() {
+        let mut g = Graph::new(4, Matrix::zeros(4, 1), vec![0; 4], 1);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate undirected edge");
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new(2, Matrix::zeros(2, 1), vec![0; 2], 1);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_edges_rejected() {
+        let mut g = Graph::new(2, Matrix::zeros(2, 1), vec![0; 2], 1);
+        assert!(!g.add_edge(0, 5));
+        assert!(!g.remove_edge(0, 5));
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path_graph(4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbor_vec(1), vec![0, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = path_graph(5);
+        let edges = g.edge_vec();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn degree_profile_is_descending_and_includes_self() {
+        // Star: center 0 connected to 1..4.
+        let edges = [(0, 1), (0, 2), (0, 3), (0, 4)];
+        let g = Graph::from_edges(5, &edges, Matrix::zeros(5, 1), vec![0; 5], 1);
+        assert_eq!(g.degree_profile(0), vec![4, 1, 1, 1, 1]);
+        assert_eq!(g.degree_profile(1), vec![4, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be < num_classes")]
+    fn label_bounds_checked() {
+        let _ = Graph::new(1, Matrix::zeros(1, 1), vec![3], 2);
+    }
+}

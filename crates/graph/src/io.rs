@@ -1,0 +1,272 @@
+//! Plain-text graph serialisation.
+//!
+//! The interchange format is deliberately simple so real edge lists can be
+//! fed to the CLI without conversion tooling:
+//!
+//! * **edge list** (`.edges`): one `u<TAB-or-space>v` pair per line;
+//!   `#`-prefixed lines are comments. Node ids are `0..n`.
+//! * **labels** (`.labels`): one integer class per line, line `i` = node `i`.
+//! * **features** (`.features`): one row per node of whitespace-separated
+//!   floats; all rows must have equal width.
+//!
+//! [`write_graph`]/[`read_graph`] bundle the three files under a common
+//! path prefix.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use graphrare_tensor::Matrix;
+
+use crate::graph::Graph;
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// File kind ("edges", "labels", "features").
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Cross-file inconsistency (counts, ranges).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { file, line, message } => {
+                write!(f, "parse error in {file} file, line {line}: {message}")
+            }
+            IoError::Inconsistent(m) => write!(f, "inconsistent inputs: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list (`u v` per line, `#` comments).
+pub fn parse_edge_list(text: &str) -> Result<Vec<(usize, usize)>, IoError> {
+    let mut edges = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                file: "edges",
+                line: i + 1,
+                message: "expected two node ids".into(),
+            })?
+            .parse()
+            .map_err(|e| IoError::Parse {
+                file: "edges",
+                line: i + 1,
+                message: format!("bad node id: {e}"),
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(IoError::Parse {
+                file: "edges",
+                line: i + 1,
+                message: "trailing tokens after the two node ids".into(),
+            });
+        }
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Parses a labels file (one class index per line).
+pub fn parse_labels(text: &str) -> Result<Vec<usize>, IoError> {
+    let mut labels = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        labels.push(line.parse().map_err(|e| IoError::Parse {
+            file: "labels",
+            line: i + 1,
+            message: format!("bad label: {e}"),
+        })?);
+    }
+    Ok(labels)
+}
+
+/// Parses a features file (whitespace-separated floats, equal-width rows).
+pub fn parse_features(text: &str) -> Result<Matrix, IoError> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+        let row = row.map_err(|e| IoError::Parse {
+            file: "features",
+            line: i + 1,
+            message: format!("bad float: {e}"),
+        })?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(IoError::Parse {
+                    file: "features",
+                    line: i + 1,
+                    message: format!("row width {} != {}", row.len(), first.len()),
+                });
+            }
+        }
+        rows.push(row);
+    }
+    let cols = rows.first().map_or(0, Vec::len);
+    let data: Vec<f32> = rows.iter().flatten().copied().collect();
+    Ok(Matrix::from_vec(rows.len(), cols, data))
+}
+
+/// Assembles a [`Graph`] from parsed parts, validating consistency.
+pub fn assemble(
+    edges: Vec<(usize, usize)>,
+    features: Matrix,
+    labels: Vec<usize>,
+) -> Result<Graph, IoError> {
+    let n = labels.len();
+    if features.rows() != n {
+        return Err(IoError::Inconsistent(format!(
+            "{} feature rows but {} labels",
+            features.rows(),
+            n
+        )));
+    }
+    if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
+        return Err(IoError::Inconsistent(format!(
+            "edge ({u},{v}) references a node >= {n}"
+        )));
+    }
+    let num_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
+    Ok(Graph::from_edges(n, &edges, features, labels, num_classes))
+}
+
+/// Reads `<prefix>.edges`, `<prefix>.features` and `<prefix>.labels`.
+pub fn read_graph(prefix: &Path) -> Result<Graph, IoError> {
+    let read = |ext: &str| -> Result<String, IoError> {
+        Ok(fs::read_to_string(prefix.with_extension(ext))?)
+    };
+    let edges = parse_edge_list(&read("edges")?)?;
+    let features = parse_features(&read("features")?)?;
+    let labels = parse_labels(&read("labels")?)?;
+    assemble(edges, features, labels)
+}
+
+/// Writes `<prefix>.edges`, `<prefix>.features` and `<prefix>.labels`,
+/// creating parent directories.
+pub fn write_graph(g: &Graph, prefix: &Path) -> Result<(), IoError> {
+    if let Some(parent) = prefix.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut edges = String::new();
+    let _ = writeln!(edges, "# {} nodes, {} undirected edges", g.num_nodes(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(edges, "{u}\t{v}");
+    }
+    fs::write(prefix.with_extension("edges"), edges)?;
+
+    let mut labels = String::new();
+    for &l in g.labels() {
+        let _ = writeln!(labels, "{l}");
+    }
+    fs::write(prefix.with_extension("labels"), labels)?;
+
+    let mut feats = String::new();
+    for r in 0..g.num_nodes() {
+        let row: Vec<String> = g.features().row(r).iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(feats, "{}", row.join(" "));
+    }
+    fs::write(prefix.with_extension("features"), feats)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let feats = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, 0.25, 0.0, 1.0]);
+        Graph::from_edges(3, &[(0, 1), (1, 2)], feats, vec![0, 1, 1], 2)
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("graphrare-io-test");
+        let prefix = dir.join("toy");
+        let g = sample();
+        write_graph(&g, &prefix).unwrap();
+        let back = read_graph(&prefix).unwrap();
+        assert_eq!(back.edge_vec(), g.edge_vec());
+        assert_eq!(back.labels(), g.labels());
+        assert_eq!(back.num_classes(), 2);
+        assert!(back.features().max_abs_diff(g.features()) < 1e-6);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn edge_list_comments_and_blanks() {
+        let edges = parse_edge_list("# header\n\n0 1\n1\t2\n").unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(matches!(
+            parse_edge_list("0 x"),
+            Err(IoError::Parse { file: "edges", line: 1, .. })
+        ));
+        assert!(matches!(parse_edge_list("0 1 2"), Err(IoError::Parse { .. })));
+        assert!(matches!(parse_edge_list("0"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn features_reject_ragged_rows() {
+        assert!(matches!(
+            parse_features("1.0 2.0\n3.0\n"),
+            Err(IoError::Parse { file: "features", line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn assemble_validates_consistency() {
+        let feats = Matrix::zeros(2, 1);
+        assert!(matches!(
+            assemble(vec![(0, 5)], feats.clone(), vec![0, 0]),
+            Err(IoError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            assemble(vec![], Matrix::zeros(3, 1), vec![0, 0]),
+            Err(IoError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn num_classes_inferred_from_labels() {
+        let g = assemble(vec![(0, 1)], Matrix::zeros(2, 1), vec![0, 4]).unwrap();
+        assert_eq!(g.num_classes(), 5);
+    }
+}

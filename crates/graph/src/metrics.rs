@@ -1,0 +1,127 @@
+//! Graph-level statistics: homophily ratio (Eq. 1) and degree summaries.
+
+use crate::graph::Graph;
+
+/// Edge homophily ratio `H` (Eq. 1 of the paper, following Zhu et al. 2020):
+/// the fraction of edges whose endpoints share a label. Returns `1.0` for a
+/// graph without edges (the vacuous case).
+pub fn homophily_ratio(g: &Graph) -> f64 {
+    if g.num_edges() == 0 {
+        return 1.0;
+    }
+    let same = g.edges().filter(|&(u, v)| g.label(u) == g.label(v)).count();
+    same as f64 / g.num_edges() as f64
+}
+
+/// Node homophily: mean over nodes of the fraction of same-label
+/// neighbours (nodes without neighbours are skipped). Reported alongside
+/// edge homophily in the heterophily literature; used by tests to
+/// cross-check generators.
+pub fn node_homophily(g: &Graph) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in 0..g.num_nodes() {
+        let deg = g.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let same = g.neighbors(v).filter(|&u| g.label(u) == g.label(v)).count();
+        total += same as f64 / deg as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Per-class node counts.
+pub fn class_counts(g: &Graph) -> Vec<usize> {
+    let mut counts = vec![0usize; g.num_classes()];
+    for &l in g.labels() {
+        counts[l] += 1;
+    }
+    counts
+}
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Degree distribution summary of `g`.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for v in 0..n {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    DegreeStats { min, max, mean: g.mean_degree() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrare_tensor::Matrix;
+
+    fn labeled(edges: &[(usize, usize)], labels: Vec<usize>, classes: usize) -> Graph {
+        let n = labels.len();
+        Graph::from_edges(n, edges, Matrix::zeros(n, 1), labels, classes)
+    }
+
+    #[test]
+    fn homophily_all_same_label() {
+        let g = labeled(&[(0, 1), (1, 2)], vec![0, 0, 0], 1);
+        assert_eq!(homophily_ratio(&g), 1.0);
+        assert_eq!(node_homophily(&g), 1.0);
+    }
+
+    #[test]
+    fn homophily_fully_heterophilic() {
+        let g = labeled(&[(0, 1), (1, 2)], vec![0, 1, 0], 2);
+        assert_eq!(homophily_ratio(&g), 0.0);
+        assert_eq!(node_homophily(&g), 0.0);
+    }
+
+    #[test]
+    fn homophily_mixed() {
+        // Edges: (0,1) same, (1,2) diff, (2,3) diff, (0,3) diff => 0.25.
+        let g = labeled(&[(0, 1), (1, 2), (2, 3), (0, 3)], vec![0, 0, 1, 2], 3);
+        assert!((homophily_ratio(&g) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_vacuous() {
+        let g = labeled(&[], vec![0, 1], 2);
+        assert_eq!(homophily_ratio(&g), 1.0);
+        assert_eq!(node_homophily(&g), 1.0);
+    }
+
+    #[test]
+    fn class_counts_tally() {
+        let g = labeled(&[], vec![0, 1, 1, 2, 2, 2], 3);
+        assert_eq!(class_counts(&g), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = labeled(&[(0, 1), (0, 2), (0, 3)], vec![0; 4], 1);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Propagation operators derived from a [`Graph`]'s topology.
+//!
+//! GNN layers do not consume adjacency directly; they consume normalised
+//! sparse operators (`Â`, `D⁻¹A`, two-hop masks, attention neighbour
+//! lists). This module builds those operators once per topology and the GNN
+//! crate caches them for the lifetime of one graph snapshot.
+
+use graphrare_tensor::{AdjList, CsrMatrix};
+
+use crate::graph::Graph;
+
+/// Symmetric GCN normalisation `D̂^{-1/2} (A + I) D̂^{-1/2}` with self-loops
+/// (Kipf & Welling 2017), the operator used by GCN and as the default
+/// propagation matrix elsewhere.
+pub fn gcn_norm(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
+    let inv_sqrt: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
+    for v in 0..n {
+        triplets.push((v, v, inv_sqrt[v] * inv_sqrt[v]));
+        for u in g.neighbors(v) {
+            triplets.push((v, u, inv_sqrt[v] * inv_sqrt[u]));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Row-normalised adjacency `D^{-1} A` (mean aggregation without the ego
+/// node), used by GraphSAGE's mean aggregator and by H2GCN's hop operators.
+/// Isolated nodes get an all-zero row.
+pub fn row_norm_adj(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges());
+    for v in 0..n {
+        let deg = g.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let w = 1.0 / deg as f32;
+        for u in g.neighbors(v) {
+            triplets.push((v, u, w));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Unnormalised adjacency `A` as a CSR matrix.
+pub fn adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges());
+    for v in 0..n {
+        for u in g.neighbors(v) {
+            triplets.push((v, u, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Strict two-hop neighbourhood operator used by H2GCN: `N_2(v)` contains
+/// nodes at distance exactly 2 (neighbours-of-neighbours, excluding `v` and
+/// its one-hop neighbours), row-normalised.
+pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::new();
+    let mut seen = vec![false; n];
+    let mut ring: Vec<usize> = Vec::new();
+    for v in 0..n {
+        ring.clear();
+        seen[v] = true;
+        for u in g.neighbors(v) {
+            seen[u] = true;
+        }
+        for u in g.neighbors(v) {
+            for w in g.neighbors(u) {
+                if !seen[w] {
+                    seen[w] = true;
+                    ring.push(w);
+                }
+            }
+        }
+        if !ring.is_empty() {
+            let w = 1.0 / ring.len() as f32;
+            for &r in &ring {
+                triplets.push((v, r, w));
+            }
+        }
+        // Reset the scratch marks.
+        seen[v] = false;
+        for u in g.neighbors(v) {
+            seen[u] = false;
+        }
+        for &r in &ring {
+            seen[r] = false;
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Powers-of-adjacency operator `Â^k` built by repeated sparsified
+/// squaring on the GCN-normalised matrix; used by MixHop. Entries below
+/// `threshold` are dropped to keep the operator sparse.
+pub fn gcn_norm_power(g: &Graph, k: usize, threshold: f32) -> CsrMatrix {
+    let base = gcn_norm(g);
+    if k <= 1 {
+        return base;
+    }
+    let n = g.num_nodes();
+    let mut current = base.clone();
+    for _ in 1..k {
+        // current = current * base, kept sparse row by row.
+        let mut triplets = Vec::new();
+        let mut acc = vec![0f32; n];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..n {
+            for (mid, w1) in current.row_entries(r) {
+                for (c, w2) in base.row_entries(mid) {
+                    if acc[c] == 0.0 {
+                        touched.push(c);
+                    }
+                    acc[c] += w1 * w2;
+                }
+            }
+            for &c in &touched {
+                if acc[c].abs() >= threshold {
+                    triplets.push((r, c, acc[c]));
+                }
+                acc[c] = 0.0;
+            }
+            touched.clear();
+        }
+        current = CsrMatrix::from_triplets(n, n, &triplets);
+    }
+    current
+}
+
+/// Neighbour lists with self-loops for GAT attention: node `i` attends over
+/// `{i} ∪ N_1(i)`.
+pub fn attention_lists(g: &Graph) -> AdjList {
+    let lists: Vec<Vec<usize>> = (0..g.num_nodes())
+        .map(|v| std::iter::once(v).chain(g.neighbors(v)).collect())
+        .collect();
+    AdjList::from_neighbor_lists(&lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrare_tensor::Matrix;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 plus edge 2-3.
+        Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (0, 2), (2, 3)],
+            Matrix::zeros(4, 1),
+            vec![0; 4],
+            1,
+        )
+    }
+
+    #[test]
+    fn gcn_norm_rows_and_symmetry() {
+        let g = triangle_plus_tail();
+        let m = gcn_norm(&g);
+        assert!(m.is_symmetric(1e-6));
+        // Self-loop entry for node 3: 1/(d+1) = 1/2.
+        assert!((m.get(3, 3).unwrap() - 0.5).abs() < 1e-6);
+        // Entry (0,1): 1/sqrt(3)/sqrt(3) = 1/3.
+        assert!((m.get(0, 1).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let g = triangle_plus_tail();
+        let m = row_norm_adj(&g);
+        for r in 0..4 {
+            let s: f32 = m.row_entries(r).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+        // No self entries.
+        for r in 0..4 {
+            assert_eq!(m.get(r, r), None);
+        }
+    }
+
+    #[test]
+    fn row_norm_isolated_node_zero_row() {
+        let g = Graph::from_edges(3, &[(0, 1)], Matrix::zeros(3, 1), vec![0; 3], 1);
+        let m = row_norm_adj(&g);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn two_hop_excludes_self_and_one_hop() {
+        let g = triangle_plus_tail();
+        let m = row_norm_two_hop(&g);
+        // Node 3's two-hop set is {0, 1} (via 2).
+        let entries: Vec<usize> = m.row_entries(3).map(|(c, _)| c).collect();
+        assert_eq!(entries, vec![0, 1]);
+        // Node 0 is adjacent to 1,2; two-hop is {3} (via 2).
+        let entries0: Vec<usize> = m.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(entries0, vec![3]);
+    }
+
+    #[test]
+    fn power_one_is_base() {
+        let g = triangle_plus_tail();
+        let p1 = gcn_norm_power(&g, 1, 0.0);
+        assert_eq!(p1, gcn_norm(&g));
+    }
+
+    #[test]
+    fn power_two_matches_dense_square() {
+        let g = triangle_plus_tail();
+        let base = gcn_norm(&g).to_dense();
+        let want = base.matmul(&base);
+        let got = gcn_norm_power(&g, 2, 0.0).to_dense();
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    fn attention_lists_include_self_first() {
+        let g = triangle_plus_tail();
+        let al = attention_lists(&g);
+        assert_eq!(al.neighbors(3), &[3, 2]);
+        assert_eq!(al.neighbors(0), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Rollout storage and generalised advantage estimation.
+
+/// One on-policy rollout: transitions collected between PPO updates.
+#[derive(Clone, Debug, Default)]
+pub struct RolloutBuffer {
+    /// Flattened states, one `Vec` per step.
+    pub states: Vec<Vec<f32>>,
+    /// Chosen action index per head, one `Vec` per step.
+    pub actions: Vec<Vec<u8>>,
+    /// Behaviour-policy log-probability of the joint action.
+    pub log_probs: Vec<f32>,
+    /// Critic value estimates `V(s_t)` at collection time.
+    pub values: Vec<f32>,
+    /// Rewards `r_t`.
+    pub rewards: Vec<f32>,
+    /// Episode-termination flags.
+    pub dones: Vec<bool>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one transition.
+    pub fn push(
+        &mut self,
+        state: Vec<f32>,
+        actions: Vec<u8>,
+        log_prob: f32,
+        value: f32,
+        reward: f32,
+        done: bool,
+    ) {
+        self.states.push(state);
+        self.actions.push(actions);
+        self.log_probs.push(log_prob);
+        self.values.push(value);
+        self.rewards.push(reward);
+        self.dones.push(done);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// Discards all transitions, keeping allocations.
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.actions.clear();
+        self.log_probs.clear();
+        self.values.clear();
+        self.rewards.clear();
+        self.dones.clear();
+    }
+
+    /// Mean reward of the stored transitions (0 when empty).
+    pub fn mean_reward(&self) -> f32 {
+        if self.rewards.is_empty() {
+            0.0
+        } else {
+            self.rewards.iter().sum::<f32>() / self.rewards.len() as f32
+        }
+    }
+}
+
+/// Generalised advantage estimation (Schulman et al. 2016).
+///
+/// `last_value` bootstraps the value beyond the final stored transition
+/// (ignored if that transition ended an episode). Returns
+/// `(advantages, returns)` with `returns[t] = advantages[t] + values[t]`.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    last_value: f32,
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let n = rewards.len();
+    assert_eq!(values.len(), n, "gae: values length mismatch");
+    assert_eq!(dones.len(), n, "gae: dones length mismatch");
+    let mut advantages = vec![0f32; n];
+    let mut next_adv = 0f32;
+    let mut next_value = last_value;
+    for t in (0..n).rev() {
+        let nonterminal = if dones[t] { 0.0 } else { 1.0 };
+        let delta = rewards[t] + gamma * next_value * nonterminal - values[t];
+        next_adv = delta + gamma * lambda * nonterminal * next_adv;
+        advantages[t] = next_adv;
+        next_value = values[t];
+    }
+    let returns = advantages.iter().zip(values).map(|(&a, &v)| a + v).collect();
+    (advantages, returns)
+}
+
+/// In-place standardisation to zero mean, unit variance (no-op for fewer
+/// than two elements or zero variance).
+pub fn normalize(values: &mut [f32]) {
+    if values.len() < 2 {
+        return;
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    let var =
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
+    let std = var.sqrt();
+    if std < 1e-8 {
+        return;
+    }
+    for v in values {
+        *v = (*v - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gae_single_step_is_td_error() {
+        let (adv, ret) = gae(&[1.0], &[0.5], &[false], 2.0, 0.9, 0.8);
+        // delta = 1 + 0.9*2 - 0.5 = 2.3
+        assert!((adv[0] - 2.3).abs() < 1e-6);
+        assert!((ret[0] - 2.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_terminal_ignores_bootstrap() {
+        let (adv, _) = gae(&[1.0], &[0.5], &[true], 100.0, 0.9, 0.8);
+        assert!((adv[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_two_steps_hand_computed() {
+        // gamma=1, lambda=1: advantage = sum of future deltas.
+        let rewards = [1.0, 2.0];
+        let values = [0.0, 0.0];
+        let dones = [false, false];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.0, 1.0, 1.0);
+        assert!((adv[1] - 2.0).abs() < 1e-6);
+        assert!((adv[0] - 3.0).abs() < 1e-6);
+        assert_eq!(adv, ret, "zero values make returns equal advantages");
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_one_step_td() {
+        let rewards = [1.0, 1.0, 1.0];
+        let values = [0.5, 0.5, 0.5];
+        let dones = [false, false, false];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.5, 0.9, 0.0);
+        for &a in &adv {
+            // delta = 1 + 0.9*0.5 - 0.5 = 0.95 at every step.
+            assert!((a - 0.95).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalize_standardises() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut v);
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        let var: f32 = v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_degenerate_noop() {
+        let mut one = vec![3.0];
+        normalize(&mut one);
+        assert_eq!(one, vec![3.0]);
+        let mut constant = vec![2.0, 2.0, 2.0];
+        normalize(&mut constant);
+        assert_eq!(constant, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn buffer_roundtrip_and_clear() {
+        let mut b = RolloutBuffer::new();
+        b.push(vec![0.0], vec![1], -0.5, 0.2, 1.0, false);
+        b.push(vec![1.0], vec![2], -0.7, 0.1, 3.0, true);
+        assert_eq!(b.len(), 2);
+        assert!((b.mean_reward() - 2.0).abs() < 1e-6);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.mean_reward(), 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Proximal Policy Optimization (Schulman et al., 2017).
+//!
+//! The paper uses Stable-Baselines3's PPO over a multi-discrete action
+//! space; this is the same algorithm rebuilt on the workspace autograd:
+//! clipped surrogate objective, GAE(λ) advantages, a squared-error value
+//! loss and an entropy bonus, optimised with Adam over shuffled
+//! minibatches for several epochs per update.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphrare_tensor::optim::{Adam, Optimizer};
+use graphrare_tensor::param::{clip_grad_norm, zero_grads, Param};
+use graphrare_tensor::{Matrix, Tape};
+
+use crate::buffer::{gae, normalize, RolloutBuffer};
+use crate::policy::{Policy, ValueNet, ACTION_ARITY};
+
+/// PPO hyper-parameters (defaults follow Stable-Baselines3).
+#[derive(Clone, Copy, Debug)]
+pub struct PpoConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub gae_lambda: f32,
+    /// Clipping radius ε of the surrogate objective.
+    pub clip: f32,
+    /// Learning rate for both actor and critic.
+    pub lr: f32,
+    /// Optimisation epochs per update.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Value-loss coefficient.
+    pub vf_coef: f32,
+    /// Entropy-bonus coefficient.
+    pub ent_coef: f32,
+    /// Gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Action-sampling / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip: 0.2,
+            lr: 3e-4,
+            epochs: 4,
+            minibatch: 16,
+            vf_coef: 0.5,
+            ent_coef: 0.01,
+            max_grad_norm: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Diagnostics of one [`PpoAgent::update`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PpoStats {
+    /// Mean clipped-surrogate policy loss.
+    pub policy_loss: f32,
+    /// Mean value loss.
+    pub value_loss: f32,
+    /// Mean policy entropy (summed over heads).
+    pub entropy: f32,
+    /// Approximate KL divergence between old and new policy.
+    pub approx_kl: f32,
+}
+
+/// A PPO agent: stochastic multi-discrete policy plus critic.
+pub struct PpoAgent<P: Policy> {
+    policy: P,
+    value: ValueNet,
+    cfg: PpoConfig,
+    opt: Adam,
+    rng: StdRng,
+    params: Vec<Param>,
+}
+
+impl<P: Policy> PpoAgent<P> {
+    /// Creates an agent from a policy, a critic and a config.
+    pub fn new(policy: P, value: ValueNet, cfg: PpoConfig) -> Self {
+        let mut params = policy.params();
+        params.extend(value.params());
+        Self {
+            opt: Adam::new(cfg.lr, 0.0),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            policy,
+            value,
+            cfg,
+            params,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Samples an action for `state`. Returns the per-head action indices,
+    /// the joint log-probability and the critic's value estimate.
+    pub fn act(&mut self, state: &[f32]) -> (Vec<u8>, f32, f32) {
+        let (logits, value) = self.forward_single(state);
+        let heads = self.policy.heads();
+        let mut actions = Vec::with_capacity(heads);
+        let mut log_prob = 0.0f32;
+        let mut probs = [0f32; ACTION_ARITY];
+        for h in 0..heads {
+            let row = &logits[h * ACTION_ARITY..(h + 1) * ACTION_ARITY];
+            softmax3(row, &mut probs);
+            let x: f32 = self.rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = ACTION_ARITY - 1;
+            for (a, &p) in probs.iter().enumerate() {
+                acc += p;
+                if x < acc {
+                    chosen = a;
+                    break;
+                }
+            }
+            actions.push(chosen as u8);
+            log_prob += probs[chosen].max(1e-12).ln();
+        }
+        (actions, log_prob, value)
+    }
+
+    /// Greedy (argmax per head) action for `state`.
+    pub fn act_deterministic(&mut self, state: &[f32]) -> Vec<u8> {
+        let (logits, _) = self.forward_single(state);
+        let heads = self.policy.heads();
+        (0..heads)
+            .map(|h| {
+                let row = &logits[h * ACTION_ARITY..(h + 1) * ACTION_ARITY];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i as u8)
+                    .unwrap_or(1)
+            })
+            .collect()
+    }
+
+    /// Critic value of `state`.
+    pub fn value_of(&self, state: &[f32]) -> f32 {
+        let mut tape = Tape::new();
+        let s = tape.constant(Matrix::row_vector(state));
+        let v = self.value.forward(&mut tape, s);
+        tape.value(v).scalar_value()
+    }
+
+    fn forward_single(&self, state: &[f32]) -> (Vec<f32>, f32) {
+        let mut tape = Tape::new();
+        let s = tape.constant(Matrix::row_vector(state));
+        let l = self.policy.logits(&mut tape, s);
+        let v = self.value.forward(&mut tape, s);
+        (tape.value(l).row(0).to_vec(), tape.value(v).scalar_value())
+    }
+
+    /// Runs the clipped-surrogate update on a collected rollout.
+    ///
+    /// `last_value` bootstraps GAE past the final transition.
+    pub fn update(&mut self, buffer: &RolloutBuffer, last_value: f32) -> PpoStats {
+        assert!(!buffer.is_empty(), "update: empty rollout buffer");
+        let n = buffer.len();
+        let (mut advantages, returns) = gae(
+            &buffer.rewards,
+            &buffer.values,
+            &buffer.dones,
+            last_value,
+            self.cfg.gamma,
+            self.cfg.gae_lambda,
+        );
+        normalize(&mut advantages);
+
+        let heads = self.policy.heads();
+        let state_dim = self.policy.state_dim();
+        let mut stats = PpoStats::default();
+        let mut updates = 0usize;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.cfg.epochs {
+            // Fisher–Yates shuffle of the minibatch order.
+            for i in (1..n).rev() {
+                let j = self.rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(self.cfg.minibatch.max(1)) {
+                let b = chunk.len();
+                let mut states = Matrix::zeros(b, state_dim);
+                let mut actions = Vec::with_capacity(b * heads);
+                let mut old_logp = Matrix::zeros(b, 1);
+                let mut adv = Matrix::zeros(b, 1);
+                let mut ret = Matrix::zeros(b, 1);
+                for (r, &i) in chunk.iter().enumerate() {
+                    states.row_mut(r).copy_from_slice(&buffer.states[i]);
+                    actions.extend_from_slice(&buffer.actions[i]);
+                    old_logp.set(r, 0, buffer.log_probs[i]);
+                    adv.set(r, 0, advantages[i]);
+                    ret.set(r, 0, returns[i]);
+                }
+                let actions = Rc::new(actions);
+                let neg_old = Rc::new(old_logp.map(|v| -v));
+                let adv = Rc::new(adv);
+                let neg_ret = Rc::new(ret.map(|v| -v));
+
+                zero_grads(&self.params);
+                let mut tape = Tape::new();
+                let s = tape.constant(states);
+                let logits = self.policy.logits(&mut tape, s);
+                let logp = tape.multi_discrete_log_prob(logits, ACTION_ARITY, actions);
+                let diff = tape.add_const(logp, neg_old);
+                let ratio = tape.exp(diff);
+                let surr1 = tape.mul_const(ratio, adv.clone());
+                let clipped = tape.clamp(ratio, 1.0 - self.cfg.clip, 1.0 + self.cfg.clip);
+                let surr2 = tape.mul_const(clipped, adv);
+                let surr = tape.min_elem(surr1, surr2);
+                let mean_surr = tape.mean_all(surr);
+                let policy_loss = tape.neg(mean_surr);
+
+                let value = self.value.forward(&mut tape, s);
+                let verr = tape.add_const(value, neg_ret);
+                let vsq = tape.square(verr);
+                let value_loss = tape.mean_all(vsq);
+
+                let entropy = tape.multi_discrete_entropy(logits, ACTION_ARITY);
+                let mean_entropy = tape.mean_all(entropy);
+
+                let scaled_v = tape.scale(value_loss, self.cfg.vf_coef);
+                let scaled_e = tape.scale(mean_entropy, -self.cfg.ent_coef);
+                let partial = tape.add(policy_loss, scaled_v);
+                let total = tape.add(partial, scaled_e);
+                tape.backward(total);
+                clip_grad_norm(&self.params, self.cfg.max_grad_norm);
+                self.opt.step(&self.params);
+
+                stats.policy_loss += tape.value(policy_loss).scalar_value();
+                stats.value_loss += tape.value(value_loss).scalar_value();
+                stats.entropy += tape.value(mean_entropy).scalar_value();
+                // approx KL = mean(old_logp - new_logp).
+                stats.approx_kl += -tape.value(diff).mean();
+                updates += 1;
+            }
+        }
+        if updates > 0 {
+            let k = updates as f32;
+            stats.policy_loss /= k;
+            stats.value_loss /= k;
+            stats.entropy /= k;
+            stats.approx_kl /= k;
+        }
+        stats
+    }
+}
+
+#[inline]
+fn softmax3(logits: &[f32], out: &mut [f32; ACTION_ARITY]) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        *o = (l - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::GlobalPolicy;
+
+    fn make_agent(state_dim: usize, heads: usize, seed: u64) -> PpoAgent<GlobalPolicy> {
+        let policy = GlobalPolicy::new(state_dim, 32, heads, seed);
+        let value = ValueNet::new(state_dim, 32, seed + 1);
+        PpoAgent::new(policy, value, PpoConfig { seed, ..Default::default() })
+    }
+
+    #[test]
+    fn act_produces_valid_actions_and_logprob() {
+        let mut agent = make_agent(4, 3, 0);
+        let (actions, logp, _value) = agent.act(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(actions.len(), 3);
+        assert!(actions.iter().all(|&a| (a as usize) < ACTION_ARITY));
+        assert!(logp < 0.0, "log-probability must be negative, got {logp}");
+        // Near-uniform initial policy: logp ≈ 3 * ln(1/3).
+        assert!((logp - 3.0 * (1.0f32 / 3.0).ln()).abs() < 0.3);
+    }
+
+    #[test]
+    fn deterministic_action_is_stable() {
+        let mut agent = make_agent(4, 2, 1);
+        let s = [0.5, -0.5, 0.2, 0.0];
+        assert_eq!(agent.act_deterministic(&s), agent.act_deterministic(&s));
+    }
+
+    /// A contextual bandit: reward 1 for picking action 2 on every head,
+    /// 0 otherwise. PPO must learn to always pick action 2.
+    #[test]
+    fn ppo_solves_multi_discrete_bandit() {
+        let heads = 3;
+        let mut agent = make_agent(2, heads, 7);
+        let state = vec![1.0f32, -1.0];
+        let mut final_mean = 0.0;
+        for _round in 0..60 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..32 {
+                let (actions, logp, value) = agent.act(&state);
+                let reward = actions.iter().filter(|&&a| a == 2).count() as f32
+                    / heads as f32;
+                buffer.push(state.clone(), actions, logp, value, reward, true);
+            }
+            final_mean = buffer.mean_reward();
+            agent.update(&buffer, 0.0);
+        }
+        assert!(final_mean > 0.85, "bandit mean reward only reached {final_mean}");
+    }
+
+    #[test]
+    fn update_returns_finite_stats() {
+        let mut agent = make_agent(3, 2, 3);
+        let mut buffer = RolloutBuffer::new();
+        let mut state = vec![0.0f32, 0.0, 0.0];
+        for t in 0..8 {
+            let (actions, logp, value) = agent.act(&state);
+            let reward = (t % 3) as f32 * 0.1;
+            buffer.push(state.clone(), actions, logp, value, reward, t == 7);
+            state[0] += 0.1;
+        }
+        let stats = agent.update(&buffer, 0.0);
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert!(stats.entropy.is_finite() && stats.entropy > 0.0);
+        assert!(stats.approx_kl.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rollout buffer")]
+    fn update_rejects_empty_buffer() {
+        let mut agent = make_agent(2, 1, 0);
+        let buffer = RolloutBuffer::new();
+        let _ = agent.update(&buffer, 0.0);
+    }
+
+    #[test]
+    fn value_estimates_move_toward_returns() {
+        let mut agent = make_agent(2, 1, 11);
+        let state = vec![0.3f32, 0.7];
+        let before = agent.value_of(&state);
+        for _ in 0..30 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..16 {
+                let (actions, logp, value) = agent.act(&state);
+                buffer.push(state.clone(), actions, logp, value, 1.0, true);
+            }
+            agent.update(&buffer, 0.0);
+        }
+        let after = agent.value_of(&state);
+        assert!(
+            (after - 1.0).abs() < (before - 1.0).abs(),
+            "critic did not move toward return: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Finite-difference gradient checking used by the tape's unit tests and by
+//! downstream crates to validate custom models.
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Central-difference numerical gradient of `f` (a scalar-valued tape
+/// computation) with respect to the leaf input `x0`.
+pub fn numeric_grad(x0: &Matrix, mut f: impl FnMut(&mut Tape, Var) -> Var) -> Matrix {
+    let h = 1e-3f32;
+    let mut grad = Matrix::zeros(x0.rows(), x0.cols());
+    for r in 0..x0.rows() {
+        for c in 0..x0.cols() {
+            let mut xp = x0.clone();
+            xp.set(r, c, xp.get(r, c) + h);
+            let mut tp = Tape::new();
+            let vp = tp.leaf(xp);
+            let lp = f(&mut tp, vp);
+            let fp = tp.value(lp).scalar_value();
+
+            let mut xm = x0.clone();
+            xm.set(r, c, xm.get(r, c) - h);
+            let mut tm = Tape::new();
+            let vm = tm.leaf(xm);
+            let lm = f(&mut tm, vm);
+            let fm = tm.value(lm).scalar_value();
+
+            grad.set(r, c, (fp - fm) / (2.0 * h));
+        }
+    }
+    grad
+}
+
+/// Asserts that the analytic gradient of `f` at `x0` matches the
+/// central-difference estimate within `tol` (relative where gradients are
+/// large, absolute where small).
+///
+/// `f` must build a scalar (`1 x 1`) output from the provided leaf.
+///
+/// # Panics
+/// Panics with a diagnostic if any component deviates by more than `tol`.
+pub fn check_grad(x0: &Matrix, tol: f32, mut f: impl FnMut(&mut Tape, Var) -> Var) {
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let loss = f(&mut tape, x);
+    tape.backward(loss);
+    let analytic = tape.grad(x).expect("input must influence the loss").clone();
+    let numeric = numeric_grad(x0, f);
+
+    for r in 0..x0.rows() {
+        for c in 0..x0.cols() {
+            let a = analytic.get(r, c);
+            let n = numeric.get(r, c);
+            let denom = 1.0f32.max(a.abs()).max(n.abs());
+            let rel = (a - n).abs() / denom;
+            assert!(
+                rel <= tol,
+                "gradient mismatch at ({r},{c}): analytic {a}, numeric {n}, rel err {rel} > {tol}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_square_is_two_x() {
+        let x0 = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let g = numeric_grad(&x0, |t, x| {
+            let s = t.square(x);
+            t.sum_all(s)
+        });
+        for c in 0..3 {
+            assert!((g.get(0, c) - 2.0 * x0.get(0, c)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn check_grad_catches_wrong_gradient() {
+        // exp has gradient exp(x) != 1; pretending the loss is sum(x) while
+        // evaluating exp(x) must fail.
+        let x0 = Matrix::from_vec(1, 2, vec![0.5, 1.0]);
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let y = tape.exp(x);
+        let l = tape.sum_all(y);
+        tape.backward(l);
+        // Deliberately compare against a different function.
+        let numeric = numeric_grad(&x0, |t, v| t.sum_all(v));
+        let analytic = tape.grad(x).unwrap();
+        for c in 0..2 {
+            let a = analytic.get(0, c);
+            let n = numeric.get(0, c);
+            let denom = 1.0f32.max(a.abs()).max(n.abs());
+            assert!(
+                (a - n).abs() / denom <= 1e-3,
+                "gradient mismatch at (0,{c}): analytic {a}, numeric {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # graphrare-tensor
+//!
+//! Dense linear algebra and reverse-mode automatic differentiation for the
+//! GraphRARE workspace.
+//!
+//! The GraphRARE paper (ICDE 2024) trains its GNN and PPO modules with
+//! PyTorch on a GPU; this crate is the from-scratch CPU substitute. It
+//! provides:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the ops GNNs need
+//!   (matmul, transpose-fused products, softmax, concatenation, …).
+//! * [`CsrMatrix`] — compressed sparse row matrices for graph propagation
+//!   operators, treated as constants by autograd.
+//! * [`Tape`]/[`Var`] — a tape-based autograd engine with a closed op set,
+//!   each backward rule validated against finite differences.
+//! * [`Param`] — shared trainable weights consumed by [`optim`] optimisers
+//!   (Adam, SGD).
+//! * [`init`] — seeded Glorot/He/normal initialisers.
+//! * [`gradcheck`] — finite-difference gradient checking helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use graphrare_tensor::{Matrix, Param, Tape};
+//! use graphrare_tensor::optim::{Adam, Optimizer};
+//! use graphrare_tensor::param::zero_grads;
+//!
+//! // Fit w to minimise (w * 2 - 6)^2  =>  w -> 3.
+//! let w = Param::new("w", Matrix::scalar(0.0));
+//! let mut opt = Adam::new(0.1, 0.0);
+//! for _ in 0..200 {
+//!     zero_grads(&[w.clone()]);
+//!     let mut tape = Tape::new();
+//!     let vw = tape.param(&w);
+//!     let scaled = tape.scale(vw, 2.0);
+//!     let shifted = tape.add_scalar(scaled, -6.0);
+//!     let sq = tape.square(shifted);
+//!     let loss = tape.sum_all(sq);
+//!     tape.backward(loss);
+//!     opt.step(&[w.clone()]);
+//! }
+//! assert!((w.value().scalar_value() - 3.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use param::Param;
+pub use sparse::CsrMatrix;
+pub use tape::{AdjList, Tape, Var};

@@ -1,0 +1,296 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Graph adjacency operators (`Â = D^-1/2 (A+I) D^-1/2`, `D^-1 A`, `A²`, …)
+//! are stored in CSR form and multiplied against dense feature matrices with
+//! [`CsrMatrix::spmm`]. The autograd tape treats a CSR operand as a constant:
+//! gradients only flow through the dense side, which matches how GNN
+//! propagation matrices are used in the paper.
+
+use crate::matrix::Matrix;
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values, parallel to `col_idx`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Triplets may be unordered; duplicates are summed. Entries with value
+    /// `0.0` are kept out of the structure.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0f32; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            let pos = cursor[r];
+            col_idx[pos] = c;
+            values[pos] = v;
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates / drop explicit zeros.
+        let mut out_ptr = Vec::with_capacity(rows + 1);
+        let mut out_col = Vec::with_capacity(col_idx.len());
+        let mut out_val = Vec::with_capacity(values.len());
+        out_ptr.push(0);
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            scratch.extend(
+                col_idx[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(values[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    out_col.push(c);
+                    out_val.push(v);
+                }
+            }
+            out_ptr.push(out_col.len());
+        }
+        Self { rows, cols, row_ptr: out_ptr, col_idx: out_col, values: out_val }
+    }
+
+    /// Builds an identity CSR matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`, sorted by column.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Sparse-dense product `self * dense`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: {}x{} * {}x{} dimension mismatch",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for (c, v) in self.row_entries_inner(r) {
+                let d_row = dense.row(c);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * dense` without materialising the transpose.
+    ///
+    /// Used by the autograd tape to push gradients through `spmm`.
+    pub fn spmm_t(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm_t: {}x{} ^T * {}x{} dimension mismatch",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.cols, cols);
+        for r in 0..self.rows {
+            let d_row = dense.row(r);
+            for (c, v) in self.row_entries_inner(r) {
+                let out_row = &mut out.as_mut_slice()[c * cols..(c + 1) * cols];
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense sparse-vector product `self * v` for a column vector.
+    pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, v.len(), "spmv: dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row_entries_inner(r).map(|(c, w)| w * v[c]).sum())
+            .collect()
+    }
+
+    /// Converts to a dense matrix (test/debug helper).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries_inner(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is structurally symmetric with equal values.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries_inner(r) {
+                match self.get(c, r) {
+                    Some(w) if (w - v).abs() <= tol => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Value at `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        let row = &self.col_idx[lo..hi];
+        row.binary_search(&c).ok().map(|i| self.values[lo + i])
+    }
+
+    #[inline]
+    fn row_entries_inner(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 3.0), (2, 2, 1.0), (0, 2, -1.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 3.0);
+        assert_eq!(d.get(2, 2), 1.0);
+        assert_eq!(d.get(0, 2), -1.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_summed_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.get(1, 1), None);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let m = sample();
+        let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert!(sparse.max_abs_diff(&dense) < 1e-6);
+    }
+
+    #[test]
+    fn spmm_t_matches_transpose_matmul() {
+        let m = sample();
+        let x = Matrix::from_fn(3, 2, |r, c| (2 * r + c) as f32);
+        let got = m.spmm_t(&x);
+        let want = m.to_dense().transpose().matmul(&x);
+        assert!(got.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let id = CsrMatrix::identity(4);
+        assert_eq!(id.spmm(&x), x);
+    }
+
+    #[test]
+    fn spmv_known() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 * 2.0 - 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-9));
+        assert!(!sample().is_symmetric(1e-9));
+    }
+}

@@ -1,0 +1,11 @@
+//! `graphrare-suite` re-exports the GraphRARE workspace crates so that the
+//! repository's `examples/` and `tests/` can use a single import root.
+
+pub use graphrare as core;
+pub use graphrare_baselines as baselines;
+pub use graphrare_datasets as datasets;
+pub use graphrare_entropy as entropy;
+pub use graphrare_gnn as gnn;
+pub use graphrare_graph as graph;
+pub use graphrare_rl as rl;
+pub use graphrare_tensor as tensor;

@@ -1,0 +1,86 @@
+//! Integration tests of the dataset generators against Table II and the
+//! split protocol of Sec. V-C.
+
+use graphrare_datasets::{generate_mini, generate_spec, ten_splits, Dataset};
+use graphrare_graph::metrics::{class_counts, homophily_ratio};
+
+#[test]
+fn mini_generators_hit_their_homophily_targets() {
+    for d in Dataset::ALL {
+        let spec = d.spec_mini();
+        let g = generate_mini(d, 42);
+        let h = homophily_ratio(&g);
+        assert!(
+            (h - spec.homophily).abs() < 0.08,
+            "{}: homophily {h:.3}, target {:.3}",
+            d.name(),
+            spec.homophily
+        );
+        assert_eq!(g.num_nodes(), spec.num_nodes, "{}", d.name());
+        assert_eq!(g.num_classes(), spec.num_classes, "{}", d.name());
+    }
+}
+
+#[test]
+fn full_scale_webkb_datasets_match_table2_exactly() {
+    // The three WebKB graphs are small enough to generate at full scale.
+    for (d, nodes, edges) in [
+        (Dataset::Cornell, 183, 295),
+        (Dataset::Texas, 183, 309),
+        (Dataset::Wisconsin, 251, 499),
+    ] {
+        let g = generate_spec(&d.spec(), 7);
+        assert_eq!(g.num_nodes(), nodes, "{}", d.name());
+        let rel = (g.num_edges() as f64 - edges as f64).abs() / edges as f64;
+        assert!(rel < 0.03, "{}: {} edges vs target {edges}", d.name(), g.num_edges());
+        assert_eq!(g.feat_dim(), 1703, "{}", d.name());
+    }
+}
+
+#[test]
+fn full_scale_cora_statistics() {
+    let g = generate_spec(&Dataset::Cora.spec(), 13);
+    assert_eq!(g.num_nodes(), 2708);
+    assert_eq!(g.feat_dim(), 1433);
+    assert_eq!(g.num_classes(), 7);
+    let h = homophily_ratio(&g);
+    assert!((h - 0.81).abs() < 0.05, "Cora homophily {h:.3}");
+}
+
+#[test]
+fn heterophilic_list_is_consistent_with_specs() {
+    for d in Dataset::HETEROPHILIC {
+        assert!(d.spec().homophily < 0.5, "{} listed heterophilic", d.name());
+    }
+    assert!(Dataset::Cora.spec().homophily > 0.5);
+    assert!(Dataset::Pubmed.spec().homophily > 0.5);
+}
+
+#[test]
+fn ten_splits_partition_and_stratify_every_dataset() {
+    for d in [Dataset::Texas, Dataset::Cora] {
+        let g = generate_mini(d, 1);
+        let splits = ten_splits(g.labels(), g.num_classes(), 99);
+        assert_eq!(splits.len(), 10);
+        let counts = class_counts(&g);
+        for (si, s) in splits.iter().enumerate() {
+            assert_eq!(s.len(), g.num_nodes(), "{} split {si} not a partition", d.name());
+            // Stratification: train share per class within rounding of 60%.
+            for (class, &count) in counts.iter().enumerate() {
+                let train_c = s.train.iter().filter(|&&i| g.label(i) == class).count();
+                let expect = count - 2 * (count / 5);
+                assert_eq!(train_c, expect, "{} split {si} class {class}", d.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn generators_are_seed_stable_across_calls() {
+    for d in Dataset::ALL {
+        let a = generate_mini(d, 5);
+        let b = generate_mini(d, 5);
+        assert_eq!(a.edge_vec(), b.edge_vec(), "{}", d.name());
+        assert_eq!(a.labels(), b.labels(), "{}", d.name());
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration tests: the full GraphRARE pipeline spanning all
+//! workspace crates (datasets → entropy → GNN → RL → driver).
+
+use graphrare::{run, EditMode, GraphRareConfig, SequenceMode};
+use graphrare_datasets::{generate_spec, stratified_split, DatasetSpec};
+use graphrare_gnn::{build_model, fit, Backbone, GraphTensors, ModelConfig, TrainConfig};
+use graphrare_graph::Graph;
+
+/// A strongly heterophilic graph with clean features: the setting where
+/// the paper's claims are sharpest.
+fn heterophilic_graph(seed: u64) -> Graph {
+    let spec = DatasetSpec {
+        name: "e2e",
+        num_nodes: 80,
+        num_edges: 200,
+        feat_dim: 24,
+        num_classes: 4,
+        homophily: 0.10,
+        degree_exponent: 0.3,
+        feature_signal: 0.9,
+        feature_density: 0.05,
+    };
+    generate_spec(&spec, seed)
+}
+
+fn quick_cfg(seed: u64) -> GraphRareConfig {
+    let mut cfg = GraphRareConfig::default().with_seed(seed);
+    cfg.steps = 24;
+    cfg.update_every = 6;
+    cfg.warmup_epochs = 25;
+    cfg.train.epochs = 60;
+    cfg
+}
+
+#[test]
+fn graphrare_beats_plain_gcn_on_heterophilic_graph() {
+    // Averaged over three splits to keep the comparison robust.
+    let g = heterophilic_graph(1);
+    let mut plain_total = 0.0;
+    let mut rare_total = 0.0;
+    for s in 0..3u64 {
+        let split = stratified_split(g.labels(), g.num_classes(), s);
+        let model_cfg = ModelConfig { seed: s, ..Default::default() };
+        let model = build_model(Backbone::Gcn, g.feat_dim(), g.num_classes(), &model_cfg);
+        let labels = g.labels().to_vec();
+        let train = TrainConfig { epochs: 60, seed: s, ..Default::default() };
+        plain_total += fit(model.as_ref(), &GraphTensors::new(&g), &labels, &split, &train).test_acc;
+        rare_total += run(&g, &split, Backbone::Gcn, &quick_cfg(s)).test_acc;
+    }
+    assert!(
+        rare_total > plain_total,
+        "GCN-RARE ({:.3}) did not beat GCN ({:.3}) on a strongly heterophilic graph",
+        rare_total / 3.0,
+        plain_total / 3.0
+    );
+}
+
+#[test]
+fn full_pipeline_is_reproducible() {
+    let g = heterophilic_graph(2);
+    let split = stratified_split(g.labels(), g.num_classes(), 0);
+    let cfg = quick_cfg(9);
+    let a = run(&g, &split, Backbone::Gcn, &cfg);
+    let b = run(&g, &split, Backbone::Gcn, &cfg);
+    assert_eq!(a.test_acc, b.test_acc);
+    assert_eq!(a.best_val_acc, b.best_val_acc);
+    assert_eq!(a.optimized_graph.edge_vec(), b.optimized_graph.edge_vec());
+    assert_eq!(a.traces.episode_rewards, b.traces.episode_rewards);
+}
+
+#[test]
+fn every_backbone_survives_the_full_loop() {
+    let g = heterophilic_graph(3);
+    let split = stratified_split(g.labels(), g.num_classes(), 1);
+    for backbone in [Backbone::Gcn, Backbone::Sage, Backbone::Gat, Backbone::H2gcn] {
+        let mut cfg = quick_cfg(4);
+        cfg.steps = 8;
+        cfg.update_every = 4;
+        let report = run(&g, &split, backbone, &cfg);
+        assert!(
+            (0.0..=1.0).contains(&report.test_acc),
+            "{}: invalid accuracy {}",
+            backbone.name(),
+            report.test_acc
+        );
+        assert!(report.optimized_graph.num_nodes() == g.num_nodes());
+        assert!(report.traces.homophily.iter().all(|h| (0.0..=1.0).contains(h)));
+    }
+}
+
+#[test]
+fn ablation_modes_respect_edit_constraints() {
+    let g = heterophilic_graph(4);
+    let split = stratified_split(g.labels(), g.num_classes(), 2);
+    let mut cfg = quick_cfg(5);
+    cfg.steps = 12;
+
+    cfg.edit_mode = EditMode::AddOnly;
+    let add_only = run(&g, &split, Backbone::Gcn, &cfg);
+    for (u, v) in g.edge_vec() {
+        assert!(
+            add_only.optimized_graph.has_edge(u, v),
+            "AddOnly removed edge ({u},{v})"
+        );
+    }
+
+    cfg.edit_mode = EditMode::RemoveOnly;
+    let remove_only = run(&g, &split, Backbone::Gcn, &cfg);
+    for (u, v) in remove_only.optimized_graph.edge_vec() {
+        assert!(g.has_edge(u, v), "RemoveOnly added edge ({u},{v})");
+    }
+}
+
+#[test]
+fn shuffled_sequences_change_the_outcome() {
+    let g = heterophilic_graph(5);
+    let split = stratified_split(g.labels(), g.num_classes(), 3);
+    let cfg = quick_cfg(6);
+    let entropy_run = run(&g, &split, Backbone::Gcn, &cfg);
+    let mut shuffled_cfg = cfg;
+    shuffled_cfg.sequence_mode = SequenceMode::Shuffled { seed: 123 };
+    let shuffled_run = run(&g, &split, Backbone::Gcn, &shuffled_cfg);
+    // The runs must differ somewhere (same seeds otherwise).
+    assert!(
+        entropy_run.optimized_graph.edge_vec() != shuffled_run.optimized_graph.edge_vec()
+            || entropy_run.test_acc != shuffled_run.test_acc,
+        "shuffling the rankings had no observable effect"
+    );
+}
+
+#[test]
+fn traces_are_internally_consistent() {
+    let g = heterophilic_graph(6);
+    let split = stratified_split(g.labels(), g.num_classes(), 4);
+    let cfg = quick_cfg(7);
+    let report = run(&g, &split, Backbone::Gcn, &cfg);
+    assert_eq!(report.traces.train_acc.len(), cfg.steps);
+    assert_eq!(report.traces.val_acc.len(), cfg.steps);
+    assert_eq!(report.traces.homophily.len(), cfg.steps);
+    assert_eq!(report.traces.episode_rewards.len(), cfg.steps / cfg.update_every);
+    assert_eq!(report.traces.ppo_stats.len(), cfg.steps / cfg.update_every);
+    // Best validation accuracy must be at least the max of the val trace.
+    let max_traced = report.traces.val_acc.iter().copied().fold(0.0f64, f64::max);
+    assert!(report.best_val_acc >= max_traced - 1e-12);
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of cross-crate invariants: random graphs, random
+//! states, random action streams — the structural guarantees must hold
+//! for all of them.
+
+use proptest::prelude::*;
+
+use graphrare::{EditMode, TopoState, TopologyOptimizer};
+use graphrare_entropy::{
+    EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+};
+use graphrare_graph::{metrics, Graph};
+use graphrare_tensor::Matrix;
+
+/// Strategy: a random undirected graph with 4–20 nodes, random edges,
+/// random binary features and 2–4 classes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..20, 2usize..5, any::<u64>()).prop_flat_map(|(n, classes, seed)| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(40)).prop_map(
+            move |pairs| {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(seed);
+                let features =
+                    Matrix::from_fn(n, 6, |_, _| if rng.gen_bool(0.3) { 1.0 } else { 0.0 });
+                let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+                Graph::from_edges(n, &pairs, features, labels, classes)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn homophily_is_always_a_ratio(g in arb_graph()) {
+        let h = metrics::homophily_ratio(&g);
+        prop_assert!((0.0..=1.0).contains(&h));
+        let nh = metrics::node_homophily(&g);
+        prop_assert!((0.0..=1.0).contains(&nh));
+    }
+
+    #[test]
+    fn relative_entropy_is_symmetric_and_finite(g in arb_graph()) {
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let n = g.num_nodes();
+        for v in 0..n {
+            for u in 0..n {
+                let h = table.entropy(v, u);
+                prop_assert!(h.is_finite(), "H({v},{u}) = {h}");
+                prop_assert!((h - table.entropy(u, v)).abs() < 1e-9);
+                let hs = table.structural_entropy(v, u);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&hs));
+                let hf = table.feature_entropy(v, u);
+                prop_assert!((0.0..=1.0).contains(&hf));
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_never_point_at_self_or_neighbors(g in arb_graph()) {
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(&g, &table, &SequenceConfig::default());
+        for v in 0..g.num_nodes() {
+            for &(u, _) in seqs.additions(v) {
+                prop_assert_ne!(u as usize, v);
+                prop_assert!(!g.has_edge(v, u as usize));
+            }
+            prop_assert_eq!(seqs.deletions(v).len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn materialize_respects_bounds_for_any_action_stream(
+        g in arb_graph(),
+        actions in proptest::collection::vec(0u8..3, 0..200),
+    ) {
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(&g, &table, &SequenceConfig::default());
+        let topo = TopologyOptimizer::new(g.clone(), seqs, EditMode::Both);
+        let mut state = TopoState::new(topo.k_bounds(6), topo.d_bounds(6));
+        let n = g.num_nodes();
+        for chunk in actions.chunks(2 * n) {
+            if chunk.len() == 2 * n {
+                state.apply(chunk);
+            }
+        }
+        let rewired = topo.materialize(&state);
+        // Node count invariant and degree lower bound: deletions keep at
+        // least one original neighbour per node.
+        prop_assert_eq!(rewired.num_nodes(), n);
+        for v in 0..n {
+            if g.degree(v) > 0 {
+                prop_assert!(rewired.degree(v) >= 1, "node {v} isolated by deletions");
+            }
+            prop_assert!(state.k(v) <= state.k_max(v));
+            prop_assert!(state.d(v) <= state.d_max(v));
+        }
+        // Zero state must reproduce the base graph exactly.
+        state.reset();
+        prop_assert_eq!(topo.materialize(&state).edge_vec(), g.edge_vec());
+    }
+
+    #[test]
+    fn state_features_stay_in_unit_box(
+        bounds in proptest::collection::vec(0u16..8, 1..16),
+        actions in proptest::collection::vec(0u8..3, 0..120),
+    ) {
+        let n = bounds.len();
+        let mut state = TopoState::new(bounds.clone(), bounds);
+        for chunk in actions.chunks(2 * n) {
+            if chunk.len() == 2 * n {
+                state.apply(chunk);
+            }
+        }
+        for f in state.features() {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn add_then_remove_edge_is_identity(g in arb_graph(), u in 0usize..20, v in 0usize..20) {
+        let mut g2 = g.clone();
+        let n = g2.num_nodes();
+        let (u, v) = (u % n, v % n);
+        if u != v && !g2.has_edge(u, v) {
+            prop_assert!(g2.add_edge(u, v));
+            prop_assert!(g2.remove_edge(u, v));
+            prop_assert_eq!(g2.edge_vec(), g.edge_vec());
+            prop_assert_eq!(g2.num_edges(), g.num_edges());
+        }
+    }
+}
