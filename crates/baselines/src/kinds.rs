@@ -128,8 +128,14 @@ pub fn run_baseline(
                 Operator::Sparse(Rc::new(ops::gcn_norm_power(graph, 2, 1e-4))),
             ];
             let model = OperatorGnn::new(
-                "MixHop", ops, Combine::Concat, in_dim, cfg.hidden.max(3), out_dim,
-                cfg.dropout, cfg.seed,
+                "MixHop",
+                ops,
+                Combine::Concat,
+                in_dim,
+                cfg.hidden.max(3),
+                out_dim,
+                cfg.dropout,
+                cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
         }
@@ -143,7 +149,13 @@ pub fn run_baseline(
             let blended = transforms::blended_operator(graph, cfg.knn_k, cfg.blend_gamma);
             let ops = vec![Operator::Sparse(Rc::new(blended)), Operator::Identity];
             let model = OperatorGnn::new(
-                "SimP-GCN", ops, Combine::Sum, in_dim, cfg.hidden, out_dim, cfg.dropout,
+                "SimP-GCN",
+                ops,
+                Combine::Sum,
+                in_dim,
+                cfg.hidden,
+                out_dim,
+                cfg.dropout,
                 cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
@@ -156,8 +168,14 @@ pub fn run_baseline(
                 Operator::Sparse(Rc::new(far)),
             ];
             let model = OperatorGnn::new(
-                "Geom-GCN", ops, Combine::Concat, in_dim, cfg.hidden.max(3), out_dim,
-                cfg.dropout, cfg.seed,
+                "Geom-GCN",
+                ops,
+                Combine::Concat,
+                in_dim,
+                cfg.hidden.max(3),
+                out_dim,
+                cfg.dropout,
+                cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
         }
@@ -169,7 +187,13 @@ pub fn run_baseline(
                 Operator::Identity,
             ];
             let model = OperatorGnn::new(
-                "GBK-GNN", ops, Combine::Sum, in_dim, cfg.hidden, out_dim, cfg.dropout,
+                "GBK-GNN",
+                ops,
+                Combine::Sum,
+                in_dim,
+                cfg.hidden,
+                out_dim,
+                cfg.dropout,
                 cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
@@ -178,17 +202,32 @@ pub fn run_baseline(
             let signed = transforms::signed_operator(graph, cfg.polar_threshold);
             let ops = vec![Operator::Sparse(Rc::new(signed)), Operator::Identity];
             let model = OperatorGnn::new(
-                "Polar-GNN", ops, Combine::Sum, in_dim, cfg.hidden, out_dim, cfg.dropout,
+                "Polar-GNN",
+                ops,
+                Combine::Sum,
+                in_dim,
+                cfg.hidden,
+                out_dim,
+                cfg.dropout,
                 cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
         }
         BaselineKind::HogGcn => {
-            let weighted =
-                transforms::label_prop_homophily_operator(graph, &split.train, cfg.label_prop_steps);
+            let weighted = transforms::label_prop_homophily_operator(
+                graph,
+                &split.train,
+                cfg.label_prop_steps,
+            );
             let ops = vec![Operator::Sparse(Rc::new(weighted)), Operator::Identity];
             let model = OperatorGnn::new(
-                "HOG-GCN", ops, Combine::Sum, in_dim, cfg.hidden, out_dim, cfg.dropout,
+                "HOG-GCN",
+                ops,
+                Combine::Sum,
+                in_dim,
+                cfg.hidden,
+                out_dim,
+                cfg.dropout,
                 cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
@@ -201,13 +240,16 @@ pub fn run_baseline(
         BaselineKind::OtgNet => {
             // Static-graph variant: class-aware propagation squeezed through
             // a narrow information bottleneck (quarter hidden width).
-            let ops = vec![
-                Operator::Sparse(Rc::new(ops::row_norm_adj(graph))),
-                Operator::Identity,
-            ];
+            let ops = vec![Operator::Sparse(Rc::new(ops::row_norm_adj(graph))), Operator::Identity];
             let model = OperatorGnn::new(
-                "OTGNet", ops, Combine::Sum, in_dim, (cfg.hidden / 4).max(2), out_dim,
-                cfg.dropout, cfg.seed,
+                "OTGNet",
+                ops,
+                Combine::Sum,
+                in_dim,
+                (cfg.hidden / 4).max(2),
+                out_dim,
+                cfg.dropout,
+                cfg.seed,
             );
             fit(&model, &GraphTensors::new(graph), &labels, split, &cfg.train)
         }

@@ -161,10 +161,7 @@ mod tests {
         let (g, gt) = toy();
         let model = OperatorGnn::new(
             "test-concat",
-            vec![
-                Operator::Identity,
-                Operator::Sparse(Rc::new(ops::gcn_norm(&g))),
-            ],
+            vec![Operator::Identity, Operator::Sparse(Rc::new(ops::gcn_norm(&g)))],
             Combine::Concat,
             4,
             8,
@@ -184,10 +181,7 @@ mod tests {
         let (g, gt) = toy();
         let model = OperatorGnn::new(
             "test-sum",
-            vec![
-                Operator::Sparse(Rc::new(ops::row_norm_adj(&g))),
-                Operator::Identity,
-            ],
+            vec![Operator::Sparse(Rc::new(ops::row_norm_adj(&g))), Operator::Identity],
             Combine::Sum,
             4,
             8,
@@ -207,10 +201,7 @@ mod tests {
         let (g, gt) = toy();
         let model = OperatorGnn::new(
             "test-grad",
-            vec![
-                Operator::Identity,
-                Operator::Sparse(Rc::new(ops::gcn_norm(&g))),
-            ],
+            vec![Operator::Identity, Operator::Sparse(Rc::new(ops::gcn_norm(&g)))],
             Combine::Sum,
             4,
             6,
@@ -222,18 +213,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let y = model.forward(&mut t, &gt, true, &mut rng);
         let lp = t.log_softmax_rows(y);
-        let loss = t.nll_masked(
-            lp,
-            Rc::new(vec![0, 1, 0, 1, 0]),
-            Rc::new(vec![0, 1, 2, 3, 4]),
-        );
+        let loss = t.nll_masked(lp, Rc::new(vec![0, 1, 0, 1, 0]), Rc::new(vec![0, 1, 2, 3, 4]));
         t.backward(loss);
         for p in model.params() {
-            assert!(
-                p.grad().as_slice().iter().any(|&v| v != 0.0),
-                "no gradient in {}",
-                p.name()
-            );
+            assert!(p.grad().as_slice().iter().any(|&v| v != 0.0), "no gradient in {}", p.name());
         }
     }
 }

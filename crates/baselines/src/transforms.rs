@@ -65,13 +65,7 @@ pub fn blended_operator(g: &Graph, knn_k: usize, gamma: f32) -> CsrMatrix {
     let n = g.num_nodes();
     let a_hat = ops::gcn_norm(g);
     let knn = cosine_knn_edges(g.features(), knn_k);
-    let knn_graph = Graph::from_edges(
-        n,
-        &knn,
-        Matrix::zeros(n, 1),
-        vec![0; n],
-        1,
-    );
+    let knn_graph = Graph::from_edges(n, &knn, Matrix::zeros(n, 1), vec![0; n], 1);
     let s = ops::row_norm_adj(&knn_graph);
     let mut triplets = Vec::new();
     for r in 0..n {
@@ -232,10 +226,8 @@ pub fn similarity_rewire(g: &Graph, k_add: usize, d_del: usize) -> Graph {
     // skipped when it would leave either endpoint isolated.
     if d_del > 0 {
         for v in 0..n {
-            let mut nbrs: Vec<(f32, usize)> = g
-                .neighbors(v)
-                .map(|u| (cosine(feats.row(v), feats.row(u)), u))
-                .collect();
+            let mut nbrs: Vec<(f32, usize)> =
+                g.neighbors(v).map(|u| (cosine(feats.row(v), feats.row(u)), u)).collect();
             nbrs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
             let mut removed = 0usize;
             for &(_, u) in &nbrs {
@@ -281,13 +273,7 @@ mod tests {
             feats.set(v, 2, 1.0);
             feats.set(v, 3, 1.0);
         }
-        Graph::from_edges(
-            6,
-            &[(0, 3), (1, 4), (2, 5), (0, 4)],
-            feats,
-            vec![0, 0, 0, 1, 1, 1],
-            2,
-        )
+        Graph::from_edges(6, &[(0, 3), (1, 4), (2, 5), (0, 4)], feats, vec![0, 0, 0, 1, 1, 1], 2)
     }
 
     #[test]

@@ -12,7 +12,7 @@ use graphrare_entropy::{
 use graphrare_gnn::{build_model, Backbone, GraphTensors, ModelConfig, TrainConfig, Trainer};
 use graphrare_graph::ops;
 use graphrare_rl::{GlobalPolicy, PpoAgent, PpoConfig, RolloutBuffer, ValueNet};
-use graphrare_tensor::Matrix;
+use graphrare_tensor::{parallel, Matrix};
 
 fn bench_entropy(c: &mut Criterion) {
     let mut group = c.benchmark_group("entropy");
@@ -26,13 +26,9 @@ fn bench_entropy(c: &mut Criterion) {
             },
         );
         let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
-        group.bench_with_input(
-            BenchmarkId::new("sequence_build", dataset.name()),
-            &g,
-            |b, g| {
-                b.iter(|| EntropySequences::build(g, &table, &SequenceConfig::default()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sequence_build", dataset.name()), &g, |b, g| {
+            b.iter(|| EntropySequences::build(g, &table, &SequenceConfig::default()));
+        });
     }
     group.finish();
 }
@@ -62,12 +58,7 @@ fn bench_gnn_epoch(c: &mut Criterion) {
     let labels = g.labels().to_vec();
     let mask: Vec<usize> = (0..g.num_nodes()).step_by(2).collect();
     for backbone in [Backbone::Gcn, Backbone::Sage, Backbone::Gat, Backbone::H2gcn] {
-        let model = build_model(
-            backbone,
-            g.feat_dim(),
-            g.num_classes(),
-            &ModelConfig::default(),
-        );
+        let model = build_model(backbone, g.feat_dim(), g.num_classes(), &ModelConfig::default());
         let mut trainer = Trainer::new(model.as_ref(), &TrainConfig::default());
         group.bench_function(BenchmarkId::new("train_epoch", backbone.name()), |b| {
             b.iter(|| trainer.train_epoch(model.as_ref(), &gt, &labels, &mask));
@@ -124,12 +115,54 @@ fn bench_topology(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel runs of the kernels wired through
+/// [`graphrare_tensor::parallel`]. Thread counts are forced with
+/// `with_threads`, so the comparison is meaningful even when
+/// `GRAPHRARE_THREADS` is set in the environment.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let mut thread_counts = vec![1usize, 2, 4, parallel::available_threads()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let a = Matrix::from_fn(256, 256, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.1 - 0.8);
+    let b = Matrix::from_fn(256, 256, |r, c| ((r * 13 + c * 3) % 19) as f32 * 0.1 - 0.9);
+    for &t in &thread_counts {
+        group.bench_function(BenchmarkId::new("matmul_256", t), |bch| {
+            bch.iter(|| parallel::with_threads(t, || a.matmul(&b)));
+        });
+    }
+
+    let g = generate_mini(Dataset::Chameleon, 42);
+    let a_hat = ops::gcn_norm(&g);
+    let x = Matrix::from_fn(g.num_nodes(), 48, |r, c| ((r * 7 + c) % 13) as f32 * 0.1);
+    for &t in &thread_counts {
+        group.bench_function(BenchmarkId::new("spmm_chameleon_48", t), |bch| {
+            bch.iter(|| parallel::with_threads(t, || a_hat.spmm(&x)));
+        });
+    }
+
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    for &t in &thread_counts {
+        group.bench_function(BenchmarkId::new("sequence_build_chameleon", t), |bch| {
+            bch.iter(|| {
+                parallel::with_threads(t, || {
+                    EntropySequences::build(&g, &table, &SequenceConfig::default())
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_entropy,
     bench_propagation,
     bench_gnn_epoch,
     bench_ppo,
-    bench_topology
+    bench_topology,
+    bench_parallel
 );
 criterion_main!(benches);

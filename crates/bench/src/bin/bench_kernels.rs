@@ -1,0 +1,179 @@
+//! Parallel-runtime microbenchmark: times the kernels wired through
+//! [`graphrare_tensor::parallel`] at several forced thread counts and
+//! writes the results to `BENCH_kernels.json`.
+//!
+//! ```text
+//! bench_kernels [--output BENCH_kernels.json]
+//! ```
+//!
+//! Covered kernels: dense `matmul` (1024³), sparse `spmm` over a random
+//! graph operator, and the full `EntropySequences::build` precompute on
+//! a 5 000-node synthetic graph (GlobalSample pool, exercising the
+//! per-node RNG path). Thread counts `{1, 2, 4, available}` are forced
+//! with `with_threads`, so `GRAPHRARE_THREADS` does not skew the
+//! comparison; every kernel is bit-identical across rows, only the wall
+//! time changes.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use graphrare_entropy::{
+    CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+};
+use graphrare_graph::{ops, Graph};
+use graphrare_tensor::{parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Record {
+    op: &'static str,
+    size: String,
+    threads: usize,
+    ns_per_iter: u128,
+}
+
+/// Median-of-runs wall time per call: one warm-up call, then repeated
+/// timed calls until ≥300 ms or 20 iterations.
+fn time_ns(mut f: impl FnMut()) -> u128 {
+    f();
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 20 && (samples.len() < 3 || budget.elapsed().as_millis() < 300) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn synthetic_graph(n: usize, avg_degree: usize, dim: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * avg_degree / 2);
+    for v in 1..n {
+        edges.push((v - 1, v));
+        for _ in 0..(avg_degree / 2) {
+            let u = rng.gen_range(0..n);
+            if u != v {
+                edges.push((v.min(u), v.max(u)));
+            }
+        }
+    }
+    let classes = 5;
+    let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+    let mut feats = Matrix::zeros(n, dim);
+    for v in 0..n {
+        for d in 0..dim {
+            if rng.gen_bool(0.2) {
+                feats.set(v, d, rng.gen_range(0.0f32..1.0));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, feats, labels, classes)
+}
+
+fn main() {
+    let mut output = PathBuf::from("BENCH_kernels.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--output" => {
+                i += 1;
+                output = PathBuf::from(argv.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("usage: bench_kernels [--output FILE]");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: bench_kernels [--output FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let available = parallel::available_threads();
+    let mut thread_counts = vec![1usize, 2, 4, available];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    eprintln!("available parallelism: {available}; thread counts: {thread_counts:?}");
+
+    let mut records = Vec::new();
+
+    // Dense matmul, 1024 x 1024 x 1024.
+    let a = Matrix::from_fn(1024, 1024, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.1 - 0.8);
+    let b = Matrix::from_fn(1024, 1024, |r, c| ((r * 13 + c * 3) % 19) as f32 * 0.1 - 0.9);
+    for &t in &thread_counts {
+        let ns = time_ns(|| {
+            parallel::with_threads(t, || {
+                std::hint::black_box(a.matmul(&b));
+            })
+        });
+        eprintln!("matmul 1024x1024      threads={t:<3} {:>12} ns/iter", ns);
+        records.push(Record {
+            op: "matmul",
+            size: "1024x1024x1024".into(),
+            threads: t,
+            ns_per_iter: ns,
+        });
+    }
+
+    // Sparse propagation on a 5k-node random operator, 64-wide features.
+    let g = synthetic_graph(5_000, 16, 32, 7);
+    let a_hat = ops::gcn_norm(&g);
+    let x = Matrix::from_fn(g.num_nodes(), 64, |r, c| ((r * 7 + c) % 13) as f32 * 0.1);
+    let size = format!("{}x{} nnz={} cols=64", a_hat.rows(), a_hat.cols(), a_hat.nnz());
+    for &t in &thread_counts {
+        let ns = time_ns(|| {
+            parallel::with_threads(t, || {
+                std::hint::black_box(a_hat.spmm(&x));
+            })
+        });
+        eprintln!("spmm 5k x 64          threads={t:<3} {:>12} ns/iter", ns);
+        records.push(Record { op: "spmm", size: size.clone(), threads: t, ns_per_iter: ns });
+    }
+
+    // Entropy sequence precompute on the same 5k-node graph.
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let cfg = SequenceConfig {
+        pool: CandidatePool::GlobalSample { per_node: 32, seed: 0xBE7C },
+        max_additions: 16,
+    };
+    for &t in &thread_counts {
+        let ns = time_ns(|| {
+            parallel::with_threads(t, || {
+                std::hint::black_box(EntropySequences::build(&g, &table, &cfg));
+            })
+        });
+        eprintln!("sequence_build 5k     threads={t:<3} {:>12} ns/iter", ns);
+        records.push(Record {
+            op: "sequence_build",
+            size: "5000 nodes, GlobalSample per_node=32".into(),
+            threads: t,
+            ns_per_iter: ns,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(json, "  \"available_parallelism\": {available},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}}}{comma}",
+            r.op, r.size, r.threads, r.ns_per_iter
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&output, json) {
+        eprintln!("failed to write {}: {e}", output.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", output.display());
+}

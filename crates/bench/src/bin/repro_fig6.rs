@@ -54,10 +54,7 @@ fn main() {
     let episodes = reports[0].traces.episode_rewards.len();
     let mut rew_table = TextTable::new(&["episode", "mean_reward"]);
     for e in 0..episodes {
-        let mean: f64 = reports
-            .iter()
-            .map(|r| r.traces.episode_rewards[e] as f64)
-            .sum::<f64>()
+        let mean: f64 = reports.iter().map(|r| r.traces.episode_rewards[e] as f64).sum::<f64>()
             / reports.len() as f64;
         rew_table.row(vec![e.to_string(), format!("{mean:+.4}")]);
     }
@@ -70,8 +67,10 @@ fn main() {
     );
     println!("(a) node classification accuracy per DRL step");
     println!("{}", acc_table.render());
-    println!("(b) homophily ratio of the evolving topology (original = {:.3})",
-        reports[0].original_homophily);
+    println!(
+        "(b) homophily ratio of the evolving topology (original = {:.3})",
+        reports[0].original_homophily
+    );
     println!("{}", hom_table.render());
     println!("(c) mean episode reward of the DRL module");
     println!("{}", rew_table.render());

@@ -39,8 +39,7 @@ fn main() {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    rare_report(backbone, &g, s, opts.seed + i as u64, &budget)
-                        .optimized_homophily
+                    rare_report(backbone, &g, s, opts.seed + i as u64, &budget).optimized_homophily
                 })
                 .collect();
             let h = mean(&hs);

@@ -67,7 +67,10 @@ fn main() {
         }
         let lo = grid.iter().flatten().copied().fold(f64::INFINITY, f64::min);
         let hi = grid.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
-        println!("\nFig. 8 — relative-entropy heat matrix on {} (nodes sorted by label):", d.name());
+        println!(
+            "\nFig. 8 — relative-entropy heat matrix on {} (nodes sorted by label):",
+            d.name()
+        );
         for row in &grid {
             let line: String = row
                 .iter()
@@ -83,7 +86,11 @@ fn main() {
         if n <= 600 {
             let dense = table.dense_matrix();
             let mut csv = TextTable::new(
-                &(0..n).map(|i| i.to_string()).collect::<Vec<_>>().iter().map(String::as_str)
+                &(0..n)
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .map(String::as_str)
                     .collect::<Vec<_>>(),
             );
             for v in 0..n {

@@ -19,13 +19,8 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let budget = Budget::default();
 
-    let mut table = TextTable::new(&[
-        "H target",
-        "H generated",
-        "GCN",
-        "GCN-RARE",
-        "RARE - GCN (points)",
-    ]);
+    let mut table =
+        TextTable::new(&["H target", "H generated", "GCN", "GCN-RARE", "RARE - GCN (points)"]);
 
     for h in HOMOPHILY_GRID {
         let spec = DatasetSpec {
@@ -67,8 +62,6 @@ fn main() {
         opts.splits, opts.seed
     );
     println!("{}", table.render());
-    table
-        .write_csv(std::path::Path::new("results/sweep_homophily.csv"))
-        .expect("write csv");
+    table.write_csv(std::path::Path::new("results/sweep_homophily.csv")).expect("write csv");
     println!("CSV written to results/sweep_homophily.csv");
 }

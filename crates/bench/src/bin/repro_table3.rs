@@ -33,12 +33,7 @@ fn main() {
                     run_method(*method, &g, split, opts.seed + i as u64, &budget).test_acc
                 })
                 .collect();
-            eprintln!(
-                "{:<16} {:<10} {}",
-                method.name(),
-                d.name(),
-                mean_std_pct(&cells)
-            );
+            eprintln!("{:<16} {:<10} {}", method.name(), d.name(), mean_std_pct(&cells));
             per_dataset.push(cells);
         }
         accs.insert(method.name(), per_dataset);
@@ -67,8 +62,7 @@ fn main() {
     for backbone in [Backbone::Gcn, Backbone::Sage, Backbone::Gat, Backbone::H2gcn] {
         let plain = &accs[&Method::Plain(backbone).name()];
         let rare = &accs[&Method::Rare(backbone).name()];
-        let plain_avg =
-            100.0 * mean(&plain.iter().map(|v| mean(v)).collect::<Vec<_>>());
+        let plain_avg = 100.0 * mean(&plain.iter().map(|v| mean(v)).collect::<Vec<_>>());
         let rare_avg = 100.0 * mean(&rare.iter().map(|v| mean(v)).collect::<Vec<_>>());
         improvements.row(vec![
             Method::Rare(backbone).name(),

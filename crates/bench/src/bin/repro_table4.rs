@@ -32,8 +32,7 @@ fn main() {
                     .iter()
                     .enumerate()
                     .map(|(i, split)| {
-                        let mut cfg =
-                            GraphRareConfig::default().with_seed(opts.seed + i as u64);
+                        let mut cfg = GraphRareConfig::default().with_seed(opts.seed + i as u64);
                         cfg.steps = budget.rare_steps;
                         cfg.train.epochs = budget.epochs;
                         cfg.train.patience = budget.patience;

@@ -6,8 +6,8 @@
 use std::time::Instant;
 
 use graphrare::{run, GraphRareConfig};
-use graphrare_bench::{HarnessOptions, TextTable};
 use graphrare_baselines::{run_baseline, BaselineConfig, BaselineKind};
+use graphrare_bench::{HarnessOptions, TextTable};
 use graphrare_datasets::Dataset;
 use graphrare_entropy::{RelativeEntropyConfig, RelativeEntropyTable};
 use graphrare_gnn::{build_model, Backbone, GraphTensors, ModelConfig, TrainConfig, Trainer};
@@ -37,18 +37,12 @@ fn time_backbone(b: Backbone, g: &graphrare_graph::Graph, epochs: usize, seed: u
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let datasets: Vec<Dataset> = opts
-        .datasets
-        .iter()
-        .copied()
-        .filter(|d| Dataset::HETEROPHILIC.contains(d))
-        .collect();
+    let datasets: Vec<Dataset> =
+        opts.datasets.iter().copied().filter(|d| Dataset::HETEROPHILIC.contains(d)).collect();
     let epochs = timing_epochs(matches!(opts.scale, graphrare_bench::Scale::Full));
 
     let mut table = TextTable::new(
-        &std::iter::once("Method")
-            .chain(datasets.iter().map(|d| d.name()))
-            .collect::<Vec<_>>(),
+        &std::iter::once("Method").chain(datasets.iter().map(|d| d.name())).collect::<Vec<_>>(),
     );
 
     let fmt_ms = |secs: f64| format!("{:.2}ms", 1000.0 * secs);

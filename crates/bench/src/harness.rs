@@ -228,8 +228,7 @@ mod tests {
         let rows = Method::table3_rows();
         assert_eq!(rows.len(), 17, "4 traditional + MLP + 9 SOTA - overlap + 4 RARE");
         assert_eq!(rows.iter().filter(|m| m.is_rare()).count(), 4);
-        let names: std::collections::HashSet<String> =
-            rows.iter().map(Method::name).collect();
+        let names: std::collections::HashSet<String> = rows.iter().map(Method::name).collect();
         assert_eq!(names.len(), rows.len(), "duplicate method row");
     }
 

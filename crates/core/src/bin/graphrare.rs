@@ -9,7 +9,13 @@
 //! graphrare --input data/mygraph --output out/mygraph-optimized \
 //!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
 //!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
+//!           [--threads N]
 //! ```
+//!
+//! `--threads 0` (the default) resolves the worker count from
+//! `GRAPHRARE_THREADS`, falling back to the machine's available
+//! parallelism; `--threads 1` forces serial execution. Results are
+//! bit-identical either way.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,13 +35,15 @@ struct Args {
     split_seed: u64,
     k_cap: usize,
     algo: RlAlgo,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: graphrare --input <prefix> [--output <prefix>] \
          [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
-         [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c]"
+         [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c] \
+         [--threads N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +59,7 @@ fn parse_args() -> Args {
         split_seed: 0,
         k_cap: 10,
         algo: RlAlgo::Ppo,
+        threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -83,6 +92,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--split-seed" => args.split_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--k-cap" => args.k_cap = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--algo" => {
                 args.algo = match value(&mut i).to_lowercase().as_str() {
                     "ppo" => RlAlgo::Ppo,
@@ -132,6 +142,7 @@ fn main() -> ExitCode {
     cfg.steps = args.steps;
     cfg.k_cap = args.k_cap;
     cfg.algo = args.algo;
+    cfg.threads = args.threads;
 
     println!(
         "running {}-RARE ({:?}, {} DRL steps, lambda {}, k-cap {}) ...",

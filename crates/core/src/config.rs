@@ -88,6 +88,12 @@ pub struct GraphRareConfig {
     pub k_cap: usize,
     /// Master seed (PPO exploration noise etc. derive from sub-seeds).
     pub seed: u64,
+    /// Worker threads for the tensor/entropy kernels
+    /// ([`graphrare_tensor::parallel`]). `0` (the default) resolves from
+    /// the `GRAPHRARE_THREADS` environment variable, falling back to the
+    /// machine's available parallelism; `1` forces exact serial
+    /// execution. Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for GraphRareConfig {
@@ -110,6 +116,7 @@ impl Default for GraphRareConfig {
             finetune_epochs: 5,
             k_cap: 10,
             seed: 0,
+            threads: 0,
         }
     }
 }

@@ -140,23 +140,17 @@ fn snapshot(
     want_auc: bool,
 ) -> PerfSnapshot {
     let eval = evaluate(model, gt, labels, train_mask);
-    let auc = if want_auc {
-        macro_auc(&eval.logits, labels, train_mask, num_classes)
-    } else {
-        0.5
-    };
+    let auc = if want_auc { macro_auc(&eval.logits, labels, train_mask, num_classes) } else { 0.5 };
     PerfSnapshot { accuracy: eval.accuracy, loss: eval.loss, auc }
 }
 
 /// Runs the full GraphRARE framework (Algorithm 1) on one data split,
 /// wrapping `backbone`, and reports test accuracy at the best-validation
 /// checkpoint together with the optimised topology.
-pub fn run(
-    graph: &Graph,
-    split: &Split,
-    backbone: Backbone,
-    cfg: &GraphRareConfig,
-) -> RareReport {
+pub fn run(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConfig) -> RareReport {
+    // Apply the thread knob before the first kernel call; 0 keeps the
+    // env-var/auto resolution (see `graphrare_tensor::parallel`).
+    graphrare_tensor::parallel::set_threads(cfg.threads);
     // Lines 1–6: relative entropy and sequences, computed once.
     let table = RelativeEntropyTable::new(graph, &cfg.entropy);
     let seqs = EntropySequences::build(graph, &table, &cfg.sequences);
@@ -176,6 +170,7 @@ pub fn run_with_sequences(
     backbone: Backbone,
     cfg: &GraphRareConfig,
 ) -> RareReport {
+    graphrare_tensor::parallel::set_threads(cfg.threads);
     let labels = graph.labels().to_vec();
     let num_classes = graph.num_classes();
     let want_auc = matches!(cfg.reward, RewardKind::Auc);
@@ -239,13 +234,7 @@ pub fn run_with_sequences(
         let cur = snapshot(model.as_ref(), &gt, &labels, &split.train, num_classes, want_auc);
         if cur.accuracy > max_acc {
             max_acc = cur.accuracy;
-            trainer.train_epochs(
-                model.as_ref(),
-                &gt,
-                &labels,
-                &split.train,
-                cfg.finetune_epochs,
-            );
+            trainer.train_epochs(model.as_ref(), &gt, &labels, &split.train, cfg.finetune_epochs);
         }
 
         // Lines 14–16: reward and transition bookkeeping.
@@ -271,11 +260,8 @@ pub fn run_with_sequences(
             traces.episode_rewards.push(window_reward / cfg.update_every.max(1) as f32);
             window_reward = 0.0;
             window_steps = 0;
-            let last_value = if cfg.reset_each_episode {
-                0.0
-            } else {
-                agent.value_of(&state.features())
-            };
+            let last_value =
+                if cfg.reset_each_episode { 0.0 } else { agent.value_of(&state.features()) };
             let stats = agent.update(&buffer, last_value);
             traces.ppo_stats.push(stats);
             buffer.clear();
@@ -380,10 +366,7 @@ mod tests {
         assert!(report.best_val_acc >= 0.0);
         assert_eq!(report.traces.train_acc.len(), cfg.steps);
         assert_eq!(report.traces.homophily.len(), cfg.steps);
-        assert_eq!(
-            report.traces.episode_rewards.len(),
-            cfg.steps / cfg.update_every
-        );
+        assert_eq!(report.traces.episode_rewards.len(), cfg.steps / cfg.update_every);
         assert!(report.optimized_graph.num_nodes() == g.num_nodes());
     }
 

@@ -73,7 +73,8 @@ pub fn run_fixed_kd(
     cfg: &GraphRareConfig,
 ) -> VariantReport {
     let topo = build_optimizer(graph, cfg);
-    let mut state = TopoState::new(topo.k_bounds(cfg.k_cap.max(k)), topo.d_bounds(cfg.k_cap.max(d)));
+    let mut state =
+        TopoState::new(topo.k_bounds(cfg.k_cap.max(k)), topo.d_bounds(cfg.k_cap.max(d)));
     for v in 0..graph.num_nodes() {
         state.set_k(v, k);
         state.set_d(v, d);

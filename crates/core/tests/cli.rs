@@ -52,11 +52,7 @@ fn cli_optimizes_a_graph_bundle() {
         ])
         .output()
         .expect("CLI binary runs");
-    assert!(
-        status.status.success(),
-        "CLI failed: {}",
-        String::from_utf8_lossy(&status.stderr)
-    );
+    assert!(status.status.success(), "CLI failed: {}", String::from_utf8_lossy(&status.stderr));
     let stdout = String::from_utf8_lossy(&status.stdout);
     assert!(stdout.contains("test accuracy"), "missing summary: {stdout}");
 

@@ -199,8 +199,7 @@ mod tests {
         for d in [Dataset::Cornell, Dataset::Texas, Dataset::Cora] {
             let spec = d.spec_mini();
             let g = generate_spec(&spec, 3);
-            let rel =
-                (g.num_edges() as f64 - spec.num_edges as f64).abs() / spec.num_edges as f64;
+            let rel = (g.num_edges() as f64 - spec.num_edges as f64).abs() / spec.num_edges as f64;
             assert!(rel < 0.05, "{}: got {} want {}", spec.name, g.num_edges(), spec.num_edges);
         }
     }

@@ -228,8 +228,7 @@ mod tests {
     #[test]
     fn all_lists_every_dataset_once() {
         assert_eq!(Dataset::ALL.len(), 7);
-        let names: std::collections::HashSet<_> =
-            Dataset::ALL.iter().map(|d| d.name()).collect();
+        let names: std::collections::HashSet<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), 7);
     }
 

@@ -67,7 +67,9 @@ pub fn stratified_split(labels: &[usize], num_classes: usize, seed: u64) -> Spli
 /// from `base_seed`.
 pub fn ten_splits(labels: &[usize], num_classes: usize, base_seed: u64) -> Vec<Split> {
     (0..10)
-        .map(|i| stratified_split(labels, num_classes, base_seed.wrapping_add(i as u64 * 1_000_003)))
+        .map(|i| {
+            stratified_split(labels, num_classes, base_seed.wrapping_add(i as u64 * 1_000_003))
+        })
         .collect()
 }
 
@@ -85,8 +87,7 @@ mod tests {
         let l = labels();
         let s = stratified_split(&l, 4, 1);
         assert_eq!(s.len(), 40);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..40).collect::<Vec<_>>());
     }

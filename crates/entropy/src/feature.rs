@@ -169,9 +169,8 @@ fn sampled_log_norm(z: &Matrix, samples: usize) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mut rng = StdRng::seed_from_u64(0x5eed_facade);
-    let pairs: Vec<(usize, usize)> = (0..samples.max(1))
-        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
-        .collect();
+    let pairs: Vec<(usize, usize)> =
+        (0..samples.max(1)).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
     let dots: Vec<f64> = pairs.iter().map(|&(i, j)| dot(z.row(i), z.row(j))).collect();
     // Include the self-dot maximum so no query can exceed the stabiliser by
     // much: the largest dot of all is always some ⟨z_i, z_i⟩ pairing when
@@ -265,9 +264,8 @@ mod tests {
         // Rankings of pairs by entropy must agree.
         let pairs = [(0, 1), (0, 2), (1, 2), (2, 3)];
         let mut by_exact = pairs;
-        by_exact.sort_by(|a, b| {
-            exact.entropy(a.0, a.1).partial_cmp(&exact.entropy(b.0, b.1)).unwrap()
-        });
+        by_exact
+            .sort_by(|a, b| exact.entropy(a.0, a.1).partial_cmp(&exact.entropy(b.0, b.1)).unwrap());
         let mut by_sampled = pairs;
         by_sampled.sort_by(|a, b| {
             sampled.entropy(a.0, a.1).partial_cmp(&sampled.entropy(b.0, b.1)).unwrap()

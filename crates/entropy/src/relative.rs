@@ -60,11 +60,8 @@ impl RelativeEntropyTable {
     pub fn new(g: &Graph, cfg: &RelativeEntropyConfig) -> Self {
         let feature = FeatureEntropyTable::new(g, cfg.embedding, cfg.normalization);
         let structural = StructuralEntropyTable::new(g);
-        let (f_offset, f_scale) = if cfg.rescale_feature {
-            feature_range(&feature, g.num_nodes())
-        } else {
-            (0.0, 1.0)
-        };
+        let (f_offset, f_scale) =
+            if cfg.rescale_feature { feature_range(&feature, g.num_nodes()) } else { (0.0, 1.0) };
         Self {
             feature,
             structural,
@@ -113,13 +110,21 @@ impl RelativeEntropyTable {
 
     /// Dense `N x N` matrix of `H(v, u)` values (Fig. 8 visualisation;
     /// intended for small graphs).
+    ///
+    /// The upper triangle is computed row-parallel (each output row is
+    /// owned by one thread), then mirrored serially; results are
+    /// bit-identical for any thread count.
     pub fn dense_matrix(&self) -> Matrix {
         let n = self.len();
         let mut m = Matrix::zeros(n, n);
+        graphrare_tensor::parallel::par_for_each_row(m.as_mut_slice(), n, |v, row| {
+            for (u, slot) in row.iter_mut().enumerate().skip(v) {
+                *slot = self.entropy(v, u) as f32;
+            }
+        });
         for v in 0..n {
-            for u in v..n {
-                let h = self.entropy(v, u) as f32;
-                m.set(v, u, h);
+            for u in (v + 1)..n {
+                let h = m.get(v, u);
                 m.set(u, v, h);
             }
         }
@@ -130,32 +135,44 @@ impl RelativeEntropyTable {
 /// Min–max range of `log P` over the graph's off-diagonal pairs: exact
 /// for small graphs, estimated from 100k sampled pairs otherwise.
 /// Returns `(offset, scale)` such that `(log_p - offset) * scale ∈ [0, 1]`.
+///
+/// The exact branch is a parallel min/max fold over the row index; min
+/// and max are exactly associative, so the result is bit-identical for
+/// any thread count. The sampled branch keeps its single sequential RNG
+/// stream (it is cheap and its determinism depends on draw order).
 fn feature_range(feature: &FeatureEntropyTable, n: usize) -> (f64, f64) {
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    let mut observe = |h: f64| {
-        lo = lo.min(h);
-        hi = hi.max(h);
-    };
     // The diagonal is excluded: self-dots of sparse bag-of-words features
     // are far larger than any cross-pair dot and would squash every real
     // candidate pair into a sliver of the unit interval.
-    if n <= 1200 {
-        for v in 0..n {
-            for u in (v + 1)..n {
-                observe(feature.log_prob(v, u));
-            }
-        }
+    let (lo, hi) = if n <= 1200 {
+        graphrare_tensor::parallel::par_fold(
+            n,
+            || (f64::INFINITY, f64::NEG_INFINITY),
+            |(mut lo, mut hi), v| {
+                for u in (v + 1)..n {
+                    let h = feature.log_prob(v, u);
+                    lo = lo.min(h);
+                    hi = hi.max(h);
+                }
+                (lo, hi)
+            },
+            |(lo_a, hi_a), (lo_b, hi_b)| (lo_a.min(lo_b), hi_a.max(hi_b)),
+        )
     } else {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
         let mut rng = StdRng::seed_from_u64(0xfea7);
         for _ in 0..100_000 {
             let v = rng.gen_range(0..n);
             let u = rng.gen_range(0..n);
             if v != u {
-                observe(feature.log_prob(v, u));
+                let h = feature.log_prob(v, u);
+                lo = lo.min(h);
+                hi = hi.max(h);
             }
         }
-    }
+        (lo, hi)
+    };
     if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-300 {
         (0.0, 1.0)
     } else {

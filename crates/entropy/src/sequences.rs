@@ -54,49 +54,59 @@ impl Default for SequenceConfig {
     }
 }
 
+/// One node's ranked `(candidate id, entropy)` list.
+type Ranking = Vec<(u32, f32)>;
+
 /// Per-node ranked addition and deletion candidates.
 #[derive(Clone, Debug)]
 pub struct EntropySequences {
-    additions: Vec<Vec<(u32, f32)>>,
-    deletions: Vec<Vec<(u32, f32)>>,
+    additions: Vec<Ranking>,
+    deletions: Vec<Ranking>,
 }
 
 impl EntropySequences {
     /// Builds sequences for every node of `g` from a precomputed entropy
     /// table.
+    ///
+    /// Nodes are independent, so the build runs node-parallel
+    /// ([`graphrare_tensor::parallel`]). [`CandidatePool::GlobalSample`]
+    /// draws from a per-node RNG seeded `seed ^ v`, making the sample
+    /// independent of visit order — the output is identical for any
+    /// thread count.
     pub fn build(g: &Graph, table: &RelativeEntropyTable, cfg: &SequenceConfig) -> Self {
         let n = g.num_nodes();
-        let mut additions = Vec::with_capacity(n);
-        let mut deletions = Vec::with_capacity(n);
-        let mut sample_rng = match cfg.pool {
-            CandidatePool::GlobalSample { seed, .. } => Some(StdRng::seed_from_u64(seed)),
-            CandidatePool::RemoteRing { .. } => None,
-        };
-        for v in 0..n {
+        // Descending entropy; node id breaks ties deterministically. Ids
+        // are unique within a pool, so this is a strict total order and
+        // unstable sorting/selection cannot reorder "equal" elements.
+        let by_entropy_desc =
+            |a: &(u32, f32), b: &(u32, f32)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
+        let per_node: Vec<(Ranking, Ranking)> = graphrare_tensor::parallel::par_map(n, |v| {
             let candidates: Vec<usize> = match cfg.pool {
                 CandidatePool::RemoteRing { hops } => traversal::remote_ring(g, v, hops),
-                CandidatePool::GlobalSample { per_node, .. } => {
-                    let rng = sample_rng.as_mut().expect("sampler present");
-                    sample_non_neighbors(g, v, per_node, rng)
+                CandidatePool::GlobalSample { per_node, seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed ^ v as u64);
+                    sample_non_neighbors(g, v, per_node, &mut rng)
                 }
             };
-            let mut ranked: Vec<(u32, f32)> = candidates
-                .into_iter()
-                .map(|u| (u as u32, table.entropy(v, u) as f32))
-                .collect();
-            // Descending entropy; node id breaks ties deterministically.
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-            ranked.truncate(cfg.max_additions);
-            additions.push(ranked);
+            let mut ranked: Vec<(u32, f32)> =
+                candidates.into_iter().map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
+            // Partial selection: move the top `max_additions` to the
+            // front in O(len), then sort only that prefix. With the
+            // total order above this equals a full sort + truncate.
+            if ranked.len() > cfg.max_additions {
+                ranked.select_nth_unstable_by(cfg.max_additions, by_entropy_desc);
+                ranked.truncate(cfg.max_additions);
+            }
+            ranked.sort_unstable_by(by_entropy_desc);
 
-            let mut dels: Vec<(u32, f32)> = g
-                .neighbors(v)
-                .map(|u| (u as u32, table.entropy(v, u) as f32))
-                .collect();
-            // Ascending entropy: least-related first.
-            dels.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-            deletions.push(dels);
-        }
+            let mut dels: Vec<(u32, f32)> =
+                g.neighbors(v).map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
+            // Ascending entropy: least-related first; ids ascending
+            // on ties, same as the addition ranking.
+            dels.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            (ranked, dels)
+        });
+        let (additions, deletions) = per_node.into_iter().unzip();
         Self { additions, deletions }
     }
 
@@ -136,8 +146,8 @@ impl EntropySequences {
     /// shuffled, destroying the entropy ranking while keeping the pools.
     pub fn shuffled(&self, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut shuffle = |list: &Vec<(u32, f32)>| {
-            let mut l = list.clone();
+        let mut shuffle = |list: &[(u32, f32)]| {
+            let mut l = list.to_vec();
             for i in (1..l.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 l.swap(i, j);
@@ -145,8 +155,8 @@ impl EntropySequences {
             l
         };
         Self {
-            additions: self.additions.iter().map(&mut shuffle).collect(),
-            deletions: self.deletions.iter().map(&mut shuffle).collect(),
+            additions: self.additions.iter().map(|l| shuffle(l)).collect(),
+            deletions: self.deletions.iter().map(|l| shuffle(l)).collect(),
         }
     }
 }

@@ -66,8 +66,13 @@ pub struct StructuralEntropyTable {
 
 impl StructuralEntropyTable {
     /// Builds the table for all nodes of `g`.
+    ///
+    /// Per-node degree profiles are independent, so the build is
+    /// parallelised over nodes ([`graphrare_tensor::parallel`]); the
+    /// resulting table is identical for any thread count.
     pub fn new(g: &Graph) -> Self {
-        let distributions = (0..g.num_nodes()).map(|v| degree_distribution(g, v)).collect();
+        let distributions =
+            graphrare_tensor::parallel::par_map(g.num_nodes(), |v| degree_distribution(g, v));
         Self { distributions }
     }
 

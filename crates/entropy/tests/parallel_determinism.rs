@@ -1,0 +1,154 @@
+//! Thread-count invariance of the entropy precompute pipeline.
+//!
+//! `StructuralEntropyTable::new`, `RelativeEntropyTable` (including the
+//! exact `feature_range` fold), `dense_matrix`, and
+//! `EntropySequences::build` all run node- or row-parallel; their output
+//! must be bitwise identical for any thread count. `GlobalSample`
+//! additionally reseeds per node (`seed ^ v`), so its samples are
+//! independent of visit order entirely.
+
+use graphrare_entropy::{
+    CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+    StructuralEntropyTable,
+};
+use graphrare_graph::Graph;
+use graphrare_tensor::parallel::with_threads;
+use graphrare_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random graph with clustered features: enough irregularity to
+/// exercise every branch, small enough for exact `feature_range`.
+fn random_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        // Connected backbone plus random chords.
+        edges.push((v - 1, v));
+        for _ in 0..2 {
+            let u = rng.gen_range(0..n);
+            if u != v {
+                edges.push((v.min(u), v.max(u)));
+            }
+        }
+    }
+    let classes = 3;
+    let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+    let dim = 8;
+    let mut feats = Matrix::zeros(n, dim);
+    for v in 0..n {
+        for d in 0..dim {
+            if rng.gen_bool(0.3) {
+                feats.set(v, d, rng.gen_range(0.0f32..1.0));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, feats, labels, classes)
+}
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 5];
+
+#[test]
+fn structural_table_thread_invariant() {
+    let g = random_graph(60, 1);
+    let serial = with_threads(1, || StructuralEntropyTable::new(&g));
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, || StructuralEntropyTable::new(&g));
+        for v in 0..60 {
+            for u in 0..60 {
+                assert_eq!(
+                    serial.entropy(v, u).to_bits(),
+                    par.entropy(v, u).to_bits(),
+                    "H_s({v},{u}) diverged at {t} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relative_table_and_dense_matrix_thread_invariant() {
+    let g = random_graph(50, 2);
+    let cfg = RelativeEntropyConfig::default();
+    let (serial_m, serial_range) = with_threads(1, || {
+        let t = RelativeEntropyTable::new(&g, &cfg);
+        let sample = t.entropy(3, 41);
+        (t.dense_matrix(), sample)
+    });
+    for threads in THREAD_COUNTS {
+        let (par_m, par_range) = with_threads(threads, || {
+            let t = RelativeEntropyTable::new(&g, &cfg);
+            let sample = t.entropy(3, 41);
+            (t.dense_matrix(), sample)
+        });
+        assert_eq!(serial_range.to_bits(), par_range.to_bits());
+        assert_eq!(serial_m, par_m, "dense_matrix diverged at {threads} threads");
+    }
+}
+
+fn assert_sequences_equal(a: &EntropySequences, b: &EntropySequences, label: &str) {
+    assert_eq!(a.len(), b.len());
+    for v in 0..a.len() {
+        assert_eq!(a.additions(v), b.additions(v), "{label}: additions({v})");
+        assert_eq!(a.deletions(v), b.deletions(v), "{label}: deletions({v})");
+    }
+}
+
+#[test]
+fn remote_ring_sequences_thread_invariant() {
+    let g = random_graph(70, 3);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let cfg = SequenceConfig::default();
+    let serial = with_threads(1, || EntropySequences::build(&g, &table, &cfg));
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, || EntropySequences::build(&g, &table, &cfg));
+        assert_sequences_equal(&serial, &par, "remote-ring");
+    }
+}
+
+#[test]
+fn global_sample_sequences_thread_invariant() {
+    let g = random_graph(70, 4);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let cfg = SequenceConfig {
+        pool: CandidatePool::GlobalSample { per_node: 8, seed: 0xCAFE },
+        max_additions: 6,
+    };
+    let serial = with_threads(1, || EntropySequences::build(&g, &table, &cfg));
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, || EntropySequences::build(&g, &table, &cfg));
+        assert_sequences_equal(&serial, &par, "global-sample");
+    }
+}
+
+#[test]
+fn global_sample_reproducible_and_seed_sensitive() {
+    let g = random_graph(70, 5);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let cfg = |seed| SequenceConfig {
+        pool: CandidatePool::GlobalSample { per_node: 8, seed },
+        max_additions: 6,
+    };
+    let a = EntropySequences::build(&g, &table, &cfg(7));
+    let b = EntropySequences::build(&g, &table, &cfg(7));
+    assert_sequences_equal(&a, &b, "same-seed rebuild");
+    let c = EntropySequences::build(&g, &table, &cfg(8));
+    let differs = (0..a.len()).any(|v| a.additions(v) != c.additions(v));
+    assert!(differs, "different pool seeds produced identical samples");
+}
+
+#[test]
+fn partial_selection_matches_full_sort() {
+    // `build` keeps the top `max_additions` via select_nth + prefix sort;
+    // this must equal sorting the full candidate ranking and truncating.
+    let g = random_graph(60, 6);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let small = SequenceConfig { max_additions: 4, ..Default::default() };
+    let large = SequenceConfig { max_additions: usize::MAX, ..Default::default() };
+    let truncated = EntropySequences::build(&g, &table, &small);
+    let full = EntropySequences::build(&g, &table, &large);
+    for v in 0..truncated.len() {
+        let want: Vec<(u32, f32)> = full.additions(v).iter().copied().take(4).collect();
+        assert_eq!(truncated.additions(v), &want[..], "node {v}");
+    }
+}

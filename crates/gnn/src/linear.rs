@@ -26,7 +26,8 @@ impl Linear {
         bias: bool,
         rng: &mut StdRng,
     ) -> Self {
-        let weight = Param::new(format!("{name}.weight"), init::glorot_uniform(rng, in_dim, out_dim));
+        let weight =
+            Param::new(format!("{name}.weight"), init::glorot_uniform(rng, in_dim, out_dim));
         let bias = bias.then(|| Param::new(format!("{name}.bias"), Matrix::zeros(1, out_dim)));
         Self { weight, bias }
     }

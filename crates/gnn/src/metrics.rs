@@ -22,10 +22,8 @@ pub fn macro_auc(logits: &Matrix, labels: &[usize], mask: &[usize], num_classes:
     let mut total = 0.0;
     let mut counted = 0usize;
     for class in 0..num_classes {
-        let mut scored: Vec<(f32, bool)> = mask
-            .iter()
-            .map(|&i| (logits.get(i, class), labels[i] == class))
-            .collect();
+        let mut scored: Vec<(f32, bool)> =
+            mask.iter().map(|&i| (logits.get(i, class), labels[i] == class)).collect();
         let pos = scored.iter().filter(|&&(_, p)| p).count();
         let neg = scored.len() - pos;
         if pos == 0 || neg == 0 {
@@ -82,12 +80,16 @@ mod tests {
     #[test]
     fn auc_perfect_separation() {
         // Class-0 scores separate positives (rows 0,1) from negatives.
-        let logits = Matrix::from_vec(4, 2, vec![
-            0.9, 0.1, //
-            0.8, 0.2, //
-            0.1, 0.9, //
-            0.2, 0.8,
-        ]);
+        let logits = Matrix::from_vec(
+            4,
+            2,
+            vec![
+                0.9, 0.1, //
+                0.8, 0.2, //
+                0.1, 0.9, //
+                0.2, 0.8,
+            ],
+        );
         let auc = macro_auc(&logits, &[0, 0, 1, 1], &[0, 1, 2, 3], 2);
         assert!((auc - 1.0).abs() < 1e-12);
     }
@@ -102,12 +104,16 @@ mod tests {
 
     #[test]
     fn auc_inverted_is_zero() {
-        let logits = Matrix::from_vec(4, 2, vec![
-            0.1, 0.9, //
-            0.2, 0.8, //
-            0.9, 0.1, //
-            0.8, 0.2,
-        ]);
+        let logits = Matrix::from_vec(
+            4,
+            2,
+            vec![
+                0.1, 0.9, //
+                0.2, 0.8, //
+                0.9, 0.1, //
+                0.8, 0.2,
+            ],
+        );
         let auc = macro_auc(&logits, &[0, 0, 1, 1], &[0, 1, 2, 3], 2);
         assert!(auc.abs() < 1e-12);
     }

@@ -94,13 +94,8 @@ impl GnnModel for Gat {
         if train && self.dropout > 0.0 {
             x = tape.dropout(x, self.dropout, rng);
         }
-        let head_outs: Vec<Var> =
-            self.heads.iter().map(|h| h.forward(tape, gt, x)).collect();
-        let cat = if head_outs.len() == 1 {
-            head_outs[0]
-        } else {
-            tape.concat_cols(&head_outs)
-        };
+        let head_outs: Vec<Var> = self.heads.iter().map(|h| h.forward(tape, gt, x)).collect();
+        let cat = if head_outs.len() == 1 { head_outs[0] } else { tape.concat_cols(&head_outs) };
         let mut h = tape.elu(cat, 1.0);
         if train && self.dropout > 0.0 {
             h = tape.dropout(h, self.dropout, rng);

@@ -61,13 +61,7 @@ mod tests {
 
     #[test]
     fn logits_shape_matches_classes() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1)],
-            Matrix::ones(5, 7),
-            vec![0, 1, 2, 0, 1],
-            3,
-        );
+        let g = Graph::from_edges(5, &[(0, 1)], Matrix::ones(5, 7), vec![0, 1, 2, 0, 1], 3);
         let gt = GraphTensors::new(&g);
         let m = Mlp::new(7, 8, 3, 0.5, 0);
         let mut t = Tape::new();

@@ -50,9 +50,7 @@ pub fn build_model(
             let hidden = cfg.hidden - cfg.hidden % cfg.gat_heads;
             Box::new(Gat::new(in_dim, hidden, out_dim, cfg.gat_heads, cfg.dropout, cfg.seed))
         }
-        Backbone::H2gcn => {
-            Box::new(H2gcn::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed))
-        }
+        Backbone::H2gcn => Box::new(H2gcn::new(in_dim, cfg.hidden, out_dim, cfg.dropout, cfg.seed)),
     }
 }
 

@@ -62,10 +62,7 @@ impl GnnModel for GraphSage {
     }
 
     fn params(&self) -> Vec<Param> {
-        [&self.self1, &self.nbr1, &self.self2, &self.nbr2]
-            .iter()
-            .flat_map(|l| l.params())
-            .collect()
+        [&self.self1, &self.nbr1, &self.self2, &self.nbr2].iter().flat_map(|l| l.params()).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -103,7 +100,7 @@ mod tests {
         // An isolated node's logits must still be finite and non-trivial.
         let g = Graph::from_edges(3, &[(0, 1)], Matrix::ones(3, 4), vec![0, 1, 0], 2);
         let gt = GraphTensors::new(&g);
-        let m = GraphSage::new(4, 4, 2, 0.0, 0);
+        let m = GraphSage::new(4, 4, 2, 0.0, 1);
         let mut t = Tape::new();
         let mut rng = StdRng::seed_from_u64(0);
         let y = m.forward(&mut t, &gt, false, &mut rng);

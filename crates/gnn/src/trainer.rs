@@ -68,8 +68,7 @@ pub fn evaluate(
         0.0
     } else {
         let lpv = tape.value(lp);
-        let total: f64 =
-            mask.iter().map(|&i| -lpv.get(i, labels[i]) as f64).sum();
+        let total: f64 = mask.iter().map(|&i| -lpv.get(i, labels[i]) as f64).sum();
         total / mask.len() as f64
     };
     let logits = tape.value(logits).clone();
@@ -133,11 +132,7 @@ impl Trainer {
         let mut tape = Tape::new();
         let logits = model.forward(&mut tape, gt, true, &mut self.rng);
         let lp = tape.log_softmax_rows(logits);
-        let loss = tape.nll_masked(
-            lp,
-            Rc::new(labels.to_vec()),
-            Rc::new(train_mask.to_vec()),
-        );
+        let loss = tape.nll_masked(lp, Rc::new(labels.to_vec()), Rc::new(train_mask.to_vec()));
         let loss_value = tape.value(loss).scalar_value() as f64;
         tape.backward(loss);
         clip_grad_norm(&self.params, self.grad_clip);

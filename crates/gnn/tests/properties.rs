@@ -22,7 +22,8 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 }
 
 fn logits_of(backbone: Backbone, gt: &GraphTensors, in_dim: usize, classes: usize) -> Matrix {
-    let model = build_model(backbone, in_dim, classes, &ModelConfig { seed: 7, ..Default::default() });
+    let model =
+        build_model(backbone, in_dim, classes, &ModelConfig { seed: 7, ..Default::default() });
     let mut tape = Tape::new();
     let mut rng = StdRng::seed_from_u64(0);
     let y = model.forward(&mut tape, gt, false, &mut rng);

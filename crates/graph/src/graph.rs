@@ -29,10 +29,7 @@ impl Graph {
     pub fn new(n: usize, features: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(features.rows(), n, "feature matrix must have n rows");
         assert_eq!(labels.len(), n, "labels must have n entries");
-        assert!(
-            labels.iter().all(|&l| l < num_classes),
-            "labels must be < num_classes"
-        );
+        assert!(labels.iter().all(|&l| l < num_classes), "labels must be < num_classes");
         Self { adj: vec![BTreeSet::new(); n], num_edges: 0, features, labels, num_classes }
     }
 

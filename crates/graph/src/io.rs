@@ -157,9 +157,7 @@ pub fn assemble(
         )));
     }
     if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
-        return Err(IoError::Inconsistent(format!(
-            "edge ({u},{v}) references a node >= {n}"
-        )));
+        return Err(IoError::Inconsistent(format!("edge ({u},{v}) references a node >= {n}")));
     }
     let num_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
     Ok(Graph::from_edges(n, &edges, features, labels, num_classes))

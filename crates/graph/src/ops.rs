@@ -15,8 +15,7 @@ use crate::graph::Graph;
 pub fn gcn_norm(g: &Graph) -> CsrMatrix {
     let n = g.num_nodes();
     let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
-    let inv_sqrt: Vec<f32> =
-        (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
+    let inv_sqrt: Vec<f32> = (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
     for v in 0..n {
         triplets.push((v, v, inv_sqrt[v] * inv_sqrt[v]));
         for u in g.neighbors(v) {
@@ -137,9 +136,8 @@ pub fn gcn_norm_power(g: &Graph, k: usize, threshold: f32) -> CsrMatrix {
 /// Neighbour lists with self-loops for GAT attention: node `i` attends over
 /// `{i} ∪ N_1(i)`.
 pub fn attention_lists(g: &Graph) -> AdjList {
-    let lists: Vec<Vec<usize>> = (0..g.num_nodes())
-        .map(|v| std::iter::once(v).chain(g.neighbors(v)).collect())
-        .collect();
+    let lists: Vec<Vec<usize>> =
+        (0..g.num_nodes()).map(|v| std::iter::once(v).chain(g.neighbors(v)).collect()).collect();
     AdjList::from_neighbor_lists(&lists)
 }
 
@@ -150,13 +148,7 @@ mod tests {
 
     fn triangle_plus_tail() -> Graph {
         // Triangle 0-1-2 plus edge 2-3.
-        Graph::from_edges(
-            4,
-            &[(0, 1), (1, 2), (0, 2), (2, 3)],
-            Matrix::zeros(4, 1),
-            vec![0; 4],
-            1,
-        )
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)], Matrix::zeros(4, 1), vec![0; 4], 1)
     }
 
     #[test]

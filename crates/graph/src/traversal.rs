@@ -34,11 +34,7 @@ pub fn k_hop_neighbors(g: &Graph, v: usize, k: usize) -> Vec<(usize, usize)> {
 /// The "remote ring" of `v`: nodes at distance in `[2, k]` — the candidate
 /// pool from which GraphRARE selects new neighbours.
 pub fn remote_ring(g: &Graph, v: usize, k: usize) -> Vec<usize> {
-    k_hop_neighbors(g, v, k)
-        .into_iter()
-        .filter(|&(_, d)| d >= 2)
-        .map(|(u, _)| u)
-        .collect()
+    k_hop_neighbors(g, v, k).into_iter().filter(|&(_, d)| d >= 2).map(|(u, _)| u).collect()
 }
 
 /// Connected components as a label vector (component ids are dense,
@@ -104,13 +100,7 @@ mod tests {
 
     #[test]
     fn components_of_disconnected_graph() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (3, 4)],
-            Matrix::zeros(5, 1),
-            vec![0; 5],
-            1,
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (3, 4)], Matrix::zeros(5, 1), vec![0; 5], 1);
         assert_eq!(connected_components(&g), vec![0, 0, 1, 2, 2]);
         assert_eq!(num_components(&g), 3);
     }

@@ -8,9 +8,8 @@ use graphrare_tensor::Matrix;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..16).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..40).prop_map(move |pairs| {
-            Graph::from_edges(n, &pairs, Matrix::zeros(n, 2), vec![0; n], 1)
-        })
+        proptest::collection::vec((0..n, 0..n), 0..40)
+            .prop_map(move |pairs| Graph::from_edges(n, &pairs, Matrix::zeros(n, 2), vec![0; n], 1))
     })
 }
 

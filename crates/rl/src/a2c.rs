@@ -225,8 +225,7 @@ mod tests {
             let mut buffer = RolloutBuffer::new();
             for _ in 0..32 {
                 let (actions, logp, value) = agent.act(&state);
-                let reward =
-                    actions.iter().filter(|&&a| a == 2).count() as f32 / heads as f32;
+                let reward = actions.iter().filter(|&&a| a == 2).count() as f32 / heads as f32;
                 buffer.push(state.clone(), actions, logp, value, reward, true);
             }
             final_mean = buffer.mean_reward();

@@ -108,8 +108,7 @@ pub fn normalize(values: &mut [f32]) {
         return;
     }
     let mean = values.iter().sum::<f32>() / values.len() as f32;
-    let var =
-        values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
     let std = var.sqrt();
     if std < 1e-8 {
         return;

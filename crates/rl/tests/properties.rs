@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use graphrare_rl::{gae, normalize, GlobalPolicy, Policy, PpoAgent, PpoConfig, ValueNet, ACTION_ARITY};
+use graphrare_rl::{
+    gae, normalize, GlobalPolicy, Policy, PpoAgent, PpoConfig, ValueNet, ACTION_ARITY,
+};
 use graphrare_tensor::{Matrix, Tape};
 
 proptest! {

@@ -75,8 +75,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = normal(&mut rng, 200, 200, 2.0);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / m.len() as f32;
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

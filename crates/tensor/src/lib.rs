@@ -17,6 +17,9 @@
 //!   (Adam, SGD).
 //! * [`init`] — seeded Glorot/He/normal initialisers.
 //! * [`gradcheck`] — finite-difference gradient checking helpers.
+//! * [`parallel`] — the std-only scoped-thread runtime behind the hot
+//!   kernels, controlled by the `GRAPHRARE_THREADS` knob; results are
+//!   bit-identical to serial execution for any thread count.
 //!
 //! ## Example
 //!
@@ -48,6 +51,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod matrix;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 pub mod sparse;
 pub mod tape;

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::parallel;
+
 /// A dense row-major matrix of `f32` values.
 ///
 /// Row `r` occupies `data[r * cols .. (r + 1) * cols]`. Vectors are
@@ -184,7 +186,13 @@ impl Matrix {
     /// # Panics
     /// Panics if the matrix is not `1 x 1`.
     pub fn scalar_value(&self) -> f32 {
-        assert_eq!(self.shape(), (1, 1), "scalar_value called on a {}x{} matrix", self.rows, self.cols);
+        assert_eq!(
+            self.shape(),
+            (1, 1),
+            "scalar_value called on a {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -203,7 +211,10 @@ impl Matrix {
     /// Dense matrix product `self * rhs`.
     ///
     /// Uses the cache-friendly `i-k-j` loop order: the inner loop walks both
-    /// the output row and the `rhs` row contiguously.
+    /// the output row and the `rhs` row contiguously. Output rows are
+    /// partitioned over threads (see [`crate::parallel`]); every row is
+    /// computed by exactly one thread with the serial per-row loop, so the
+    /// result is bit-identical to single-threaded execution.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -214,23 +225,28 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
+        let b_cols = rhs.cols;
+        parallel::par_for_each_row(&mut out.data, b_cols, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let b_row = &rhs.data[k * b_cols..(k + 1) * b_cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// `self^T * rhs` without materialising the transpose.
+    ///
+    /// Parallelised over chunks of output rows: each thread accumulates
+    /// contributions for its own column range of `self`, walking the input
+    /// rows in the same ascending order as the serial loop, so per-element
+    /// accumulation order — and therefore the result — is bit-identical.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
@@ -238,23 +254,31 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = rhs.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (a_cols, b_cols) = (self.cols, rhs.cols);
+        parallel::par_for_each_chunk(&mut out.data, b_cols, |range, chunk| {
+            for r in 0..self.rows {
+                let a_row = &self.data[r * a_cols..(r + 1) * a_cols];
+                let b_row = &rhs.data[r * b_cols..(r + 1) * b_cols];
+                for i in range.clone() {
+                    let a = a_row[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let off = (i - range.start) * b_cols;
+                    let out_row = &mut chunk[off..off + b_cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self * rhs^T` without materialising the transpose.
+    ///
+    /// Parallelised over output rows; each dot product is computed whole on
+    /// one thread, so the result is bit-identical to serial execution.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
@@ -262,17 +286,17 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
+        parallel::par_for_each_row(&mut out.data, rhs.rows, |i, out_row| {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = rhs.row(j);
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out.data[i * rhs.rows + j] = acc;
+                *o = acc;
             }
-        }
+        });
         out
     }
 
@@ -465,11 +489,7 @@ impl Matrix {
     /// Maximum absolute element-wise difference against `rhs`.
     pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
         assert_eq!(self.shape(), rhs.shape(), "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&rhs.data).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
@@ -509,8 +529,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(6);
         for r in 0..show_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

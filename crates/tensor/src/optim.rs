@@ -51,16 +51,11 @@ impl Optimizer for Sgd {
         for p in params {
             let k = key(p);
             let grad = p.grad();
-            let entry = self
-                .velocity
-                .entry(k)
-                .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let entry =
+                self.velocity.entry(k).or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             p.update(|value, g| {
-                for ((v, vel), &gr) in value
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(entry.as_mut_slice())
-                    .zip(g.as_slice())
+                for ((v, vel), &gr) in
+                    value.as_mut_slice().iter_mut().zip(entry.as_mut_slice()).zip(g.as_slice())
                 {
                     let step = gr + weight_decay * *v;
                     *vel = momentum * *vel + step;

@@ -1,0 +1,284 @@
+//! Std-only parallel runtime for the workspace's hot kernels.
+//!
+//! GraphRARE's joint loop re-trains the wrapped GNN every DRL episode,
+//! so the dense/sparse kernels and the Algorithm-1 entropy precompute
+//! dominate end-to-end wall-clock. All of them are embarrassingly
+//! parallel over output rows (or nodes), which this module exploits with
+//! `std::thread::scope` — no external dependencies, no persistent pool.
+//!
+//! ## Determinism contract
+//!
+//! Every helper partitions the index space into **contiguous** chunks
+//! and runs the *same* per-index closure the serial path runs, in the
+//! same per-index order. Because no output element is ever touched by
+//! two threads (row partitioning) and per-element accumulation order is
+//! unchanged, results are **bit-identical** to serial execution for any
+//! thread count. There are no atomics-on-floats and no order-dependent
+//! merges anywhere.
+//!
+//! ## Thread-count resolution
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by
+//!    tests and by callers that need a scoped setting);
+//! 2. the global value set by [`set_threads`] (driver/config plumbing);
+//! 3. the `GRAPHRARE_THREADS` environment variable;
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! A resolved value of `1` means *exact serial execution on the calling
+//! thread* — no scope, no spawn, no behavioural difference from the
+//! pre-parallel code.
+
+use std::cell::Cell;
+use std::env;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count knob; `0` means "not yet resolved".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override; `0` means "no override".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of hardware threads the OS reports (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves the thread count used by the parallel kernels right now.
+pub fn current_threads() -> usize {
+    let scoped = THREAD_OVERRIDE.with(Cell::get);
+    if scoped != 0 {
+        return scoped;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    let resolved = env::var("GRAPHRARE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(available_threads);
+    // Cache so the env var is read once; set_threads can still override.
+    let _ = GLOBAL_THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the global thread count. `0` resets to auto (env var /
+/// available parallelism, re-resolved on next use).
+pub fn set_threads(n: usize) {
+    if n == 0 {
+        GLOBAL_THREADS.store(0, Ordering::Relaxed);
+        // Force an immediate re-resolve so `0` doesn't linger as "unset"
+        // if the env var changed; harmless otherwise.
+        let _ = current_threads();
+    } else {
+        GLOBAL_THREADS.store(n, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` with the thread count forced to `n` on this thread (and the
+/// kernels it calls). Restores the previous override afterwards, also on
+/// unwind. `n = 1` forces the exact serial path.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n));
+    let _guard = Restore(prev);
+    f()
+}
+
+/// Splits `n` items into `threads` contiguous ranges differing in length
+/// by at most one. Empty ranges are omitted.
+fn chunk_ranges(n: usize, threads: usize) -> impl Iterator<Item = Range<usize>> {
+    let threads = threads.max(1);
+    (0..threads).filter_map(move |t| {
+        let lo = t * n / threads;
+        let hi = (t + 1) * n / threads;
+        (lo < hi).then_some(lo..hi)
+    })
+}
+
+/// Partitions `data` (a row-major buffer of `rows = data.len() /
+/// row_len` rows) into contiguous row chunks and runs `f(row_range,
+/// chunk)` for each, in parallel. `chunk` covers exactly the rows in
+/// `row_range`. With one thread this degenerates to a single
+/// `f(0..rows, data)` call on the current thread.
+pub fn par_for_each_chunk<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    if row_len == 0 || data.is_empty() {
+        return;
+    }
+    let rows = data.len() / row_len;
+    let threads = current_threads().min(rows);
+    if threads <= 1 {
+        f(0..rows, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let f = &f;
+        for range in chunk_ranges(rows, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * row_len);
+            rest = tail;
+            scope.spawn(move || f(range, chunk));
+        }
+    });
+}
+
+/// Row-wise parallel iteration: runs `f(row_index, row)` for every
+/// `row_len`-sized row of `data`, partitioned contiguously over threads.
+pub fn par_for_each_row<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_for_each_chunk(data, row_len, |range, chunk| {
+        for (offset, row) in chunk.chunks_mut(row_len).enumerate() {
+            f(range.start + offset, row);
+        }
+    });
+}
+
+/// Computes `(0..n).map(f).collect()` in parallel, preserving index
+/// order. Each thread materialises its contiguous sub-range; the pieces
+/// are concatenated in range order, so the result is identical to the
+/// serial collect for any thread count.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunk_ranges(n, threads)
+            .map(|range| scope.spawn(move || range.map(f).collect::<Vec<T>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
+}
+
+/// Parallel fold over `0..n`: each thread folds its contiguous range in
+/// index order starting from `init()`, and the per-thread accumulators
+/// are merged left-to-right in range order. Deterministic for a fixed
+/// thread count; additionally thread-count-invariant whenever `merge`
+/// is exactly associative (e.g. min/max), which is how the entropy
+/// precompute uses it.
+pub fn par_fold<A, I, F, M>(n: usize, init: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).fold(init(), fold);
+    }
+    let parts: Vec<A> = std::thread::scope(|scope| {
+        let (init, fold) = (&init, &fold);
+        let handles: Vec<_> = chunk_ranges(n, threads)
+            .map(|range| scope.spawn(move || range.fold(init(), fold)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    let mut parts = parts.into_iter();
+    let first = parts.next().expect("at least one chunk");
+    parts.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 64] {
+            for threads in [1usize, 2, 3, 8, 100] {
+                let mut seen = vec![0u8; n];
+                for r in chunk_ranges(n, threads) {
+                    for i in r {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for t in [1, 2, 3, 8] {
+            let par = with_threads(t, || par_map(97, |i| i * i));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_row_touches_every_row_once() {
+        let rows = 13;
+        let cols = 5;
+        for t in [1, 2, 4, 16] {
+            let mut data = vec![0.0f32; rows * cols];
+            with_threads(t, || {
+                par_for_each_row(&mut data, cols, |r, row| {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v += (r * cols + c) as f32;
+                    }
+                });
+            });
+            let want: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+            assert_eq!(data, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_fold_min_max_is_thread_count_invariant() {
+        let vals: Vec<f64> = (0..501).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let serial = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        for t in [1, 2, 5, 9] {
+            let got = with_threads(t, || {
+                par_fold(vals.len(), || f64::INFINITY, |acc, i| acc.min(vals[i]), f64::min)
+            });
+            assert_eq!(got, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_for_each_row(&mut empty, 4, |_, _| panic!("must not run"));
+        par_for_each_chunk(&mut empty, 0, |_, _| panic!("must not run"));
+        assert!(par_map(0, |i| i).is_empty());
+    }
+}

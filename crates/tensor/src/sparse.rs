@@ -7,6 +7,7 @@
 //! propagation matrices are used in the paper.
 
 use crate::matrix::Matrix;
+use crate::parallel;
 
 /// A sparse matrix in compressed sparse row format.
 #[derive(Clone, Debug, PartialEq)]
@@ -137,21 +138,25 @@ impl CsrMatrix {
         );
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.rows, cols);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
+        parallel::par_for_each_row(out.as_mut_slice(), cols, |r, out_row| {
             for (c, v) in self.row_entries_inner(r) {
                 let d_row = dense.row(c);
                 for (o, &d) in out_row.iter_mut().zip(d_row) {
                     *o += v * d;
                 }
             }
-        }
+        });
         out
     }
 
     /// `self^T * dense` without materialising the transpose.
     ///
     /// Used by the autograd tape to push gradients through `spmm`.
+    ///
+    /// Parallelised over chunks of *output* rows: each thread scans the
+    /// CSR structure and accumulates only the entries whose column lands
+    /// in its chunk, in the same ascending input-row order as the serial
+    /// loop — no atomics, no merge step, bit-identical results.
     pub fn spmm_t(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.rows,
@@ -164,24 +169,31 @@ impl CsrMatrix {
         );
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.cols, cols);
-        for r in 0..self.rows {
-            let d_row = dense.row(r);
-            for (c, v) in self.row_entries_inner(r) {
-                let out_row = &mut out.as_mut_slice()[c * cols..(c + 1) * cols];
-                for (o, &d) in out_row.iter_mut().zip(d_row) {
-                    *o += v * d;
+        parallel::par_for_each_chunk(out.as_mut_slice(), cols, |range, chunk| {
+            for r in 0..self.rows {
+                let d_row = dense.row(r);
+                for (c, v) in self.row_entries_inner(r) {
+                    if c < range.start || c >= range.end {
+                        continue;
+                    }
+                    let off = (c - range.start) * cols;
+                    let out_row = &mut chunk[off..off + cols];
+                    for (o, &d) in out_row.iter_mut().zip(d_row) {
+                        *o += v * d;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Dense sparse-vector product `self * v` for a column vector.
+    ///
+    /// Parallelised over output rows; each dot product stays on one
+    /// thread, so results match serial execution exactly.
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv: dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row_entries_inner(r).map(|(c, w)| w * v[c]).sum())
-            .collect()
+        parallel::par_map(self.rows, |r| self.row_entries_inner(r).map(|(c, w)| w * v[c]).sum())
     }
 
     /// Converts to a dense matrix (test/debug helper).

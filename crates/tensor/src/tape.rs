@@ -487,12 +487,7 @@ impl Tape {
     ///
     /// `logp` must already be log-probabilities (see
     /// [`Tape::log_softmax_rows`]).
-    pub fn nll_masked(
-        &mut self,
-        logp: Var,
-        targets: Rc<Vec<usize>>,
-        mask: Rc<Vec<usize>>,
-    ) -> Var {
+    pub fn nll_masked(&mut self, logp: Var, targets: Rc<Vec<usize>>, mask: Rc<Vec<usize>>) -> Var {
         let lp = self.val(logp.idx);
         assert_eq!(targets.len(), lp.rows(), "nll_masked: target length mismatch");
         assert!(!mask.is_empty(), "nll_masked: empty mask");
@@ -545,7 +540,10 @@ impl Tape {
         actions: Rc<Vec<u8>>,
     ) -> Var {
         let lg = self.val(logits.idx);
-        assert!(arity > 0 && lg.cols().is_multiple_of(arity), "logit width must be a multiple of arity");
+        assert!(
+            arity > 0 && lg.cols().is_multiple_of(arity),
+            "logit width must be a multiple of arity"
+        );
         let heads = lg.cols() / arity;
         assert_eq!(actions.len(), lg.rows() * heads, "action table size mismatch");
         let mut out = Matrix::zeros(lg.rows(), 1);
@@ -568,7 +566,10 @@ impl Tape {
     /// `Σ_h H(softmax(logits[r, h·arity ..]))`.
     pub fn multi_discrete_entropy(&mut self, logits: Var, arity: usize) -> Var {
         let lg = self.val(logits.idx);
-        assert!(arity > 0 && lg.cols().is_multiple_of(arity), "logit width must be a multiple of arity");
+        assert!(
+            arity > 0 && lg.cols().is_multiple_of(arity),
+            "logit width must be a multiple of arity"
+        );
         let heads = lg.cols() / arity;
         let mut out = Matrix::zeros(lg.rows(), 1);
         let mut p = vec![0f32; arity];
@@ -596,11 +597,7 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not scalar-shaped.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(
-            self.val(loss.idx).shape(),
-            (1, 1),
-            "backward: loss must be a 1x1 scalar"
-        );
+        assert_eq!(self.val(loss.idx).shape(), (1, 1), "backward: loss must be a 1x1 scalar");
         for n in &mut self.nodes {
             n.grad = None;
         }
@@ -651,9 +648,7 @@ impl Tape {
             Op::Div(a, b) => {
                 let bv = self.val(*b);
                 let da = g.zip(bv, |gi, bi| gi / bi);
-                let db = g
-                    .zip(self.val(*a), |gi, ai| gi * ai)
-                    .zip(bv, |t, bi| -t / (bi * bi));
+                let db = g.zip(self.val(*a), |gi, ai| gi * ai).zip(bv, |t, bi| -t / (bi * bi));
                 vec![(*a, da), (*b, db)]
             }
             Op::Neg(a) => vec![(*a, g.map(|v| -v))],
@@ -724,7 +719,8 @@ impl Tape {
                 // dx_j = y_j (g_j − Σ_k g_k y_k)
                 let mut da = Matrix::zeros(g.rows(), g.cols());
                 for r in 0..g.rows() {
-                    let dot: f32 = g.row(r).iter().zip(out_val.row(r)).map(|(&gi, &yi)| gi * yi).sum();
+                    let dot: f32 =
+                        g.row(r).iter().zip(out_val.row(r)).map(|(&gi, &yi)| gi * yi).sum();
                     let da_row = da.row_mut(r);
                     for ((d, &gi), &yi) in da_row.iter_mut().zip(g.row(r)).zip(out_val.row(r)) {
                         *d = yi * (gi - dot);
@@ -999,9 +995,11 @@ mod tests {
 
     #[test]
     fn gradcheck_log_softmax_nll() {
-        let x0 = Matrix::from_vec(3, 4, vec![
-            0.1, 0.2, -0.4, 0.9, 1.5, -0.3, 0.0, 0.7, -1.0, 0.4, 0.3, -0.6,
-        ]);
+        let x0 = Matrix::from_vec(
+            3,
+            4,
+            vec![0.1, 0.2, -0.4, 0.9, 1.5, -0.3, 0.0, 0.7, -1.0, 0.4, 0.3, -0.6],
+        );
         let targets = Rc::new(vec![2usize, 0, 3]);
         let mask = Rc::new(vec![0usize, 2]);
         check_grad(&x0, 1e-2, move |t, x| {
@@ -1050,9 +1048,11 @@ mod tests {
 
     #[test]
     fn gradcheck_slice_gather_pick() {
-        let x0 = Matrix::from_vec(3, 4, vec![
-            0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4, 0.5, 0.6, 0.7, 0.8,
-        ]);
+        let x0 = Matrix::from_vec(
+            3,
+            4,
+            vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4, 0.5, 0.6, 0.7, 0.8],
+        );
         let gather = Rc::new(vec![2usize, 0, 2, 1]);
         let pick = Rc::new(vec![1usize, 3, 0, 2]);
         check_grad(&x0, 1e-2, move |t, x| {
@@ -1096,11 +1096,8 @@ mod tests {
 
     #[test]
     fn gradcheck_edge_attention() {
-        let nbrs = Rc::new(AdjList::from_neighbor_lists(&[
-            vec![0, 1, 2],
-            vec![1, 0],
-            vec![2, 1, 0],
-        ]));
+        let nbrs =
+            Rc::new(AdjList::from_neighbor_lists(&[vec![0, 1, 2], vec![1, 0], vec![2, 1, 0]]));
         let wh0 = Matrix::from_vec(3, 2, vec![0.3, -0.2, 0.8, 0.1, -0.5, 0.6]);
         let sl = Rc::new(Matrix::column(&[0.2, -0.4, 0.7]));
         let sr = Rc::new(Matrix::column(&[-0.1, 0.5, 0.3]));
@@ -1128,9 +1125,11 @@ mod tests {
     #[test]
     fn gradcheck_multi_discrete_log_prob() {
         // 2 samples, 2 heads of arity 3.
-        let x0 = Matrix::from_vec(2, 6, vec![
-            0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9,
-        ]);
+        let x0 = Matrix::from_vec(
+            2,
+            6,
+            vec![0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9],
+        );
         let actions = Rc::new(vec![0u8, 2, 1, 1]);
         let weights = Rc::new(Matrix::from_vec(2, 1, vec![0.7, -1.3]));
         check_grad(&x0, 1e-2, move |t, x| {
@@ -1142,9 +1141,11 @@ mod tests {
 
     #[test]
     fn gradcheck_multi_discrete_entropy() {
-        let x0 = Matrix::from_vec(2, 6, vec![
-            0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9,
-        ]);
+        let x0 = Matrix::from_vec(
+            2,
+            6,
+            vec![0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9],
+        );
         check_grad(&x0, 1e-2, |t, x| {
             let e = t.multi_discrete_entropy(x, 3);
             t.mean_all(e)
@@ -1215,9 +1216,11 @@ mod tests {
 
     #[test]
     fn gradcheck_reshape() {
-        let x0 = Matrix::from_vec(2, 6, vec![
-            0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9,
-        ]);
+        let x0 = Matrix::from_vec(
+            2,
+            6,
+            vec![0.3, -0.1, 0.8, 0.2, 0.5, -0.7, 1.0, 0.0, -0.4, -0.2, 0.6, 0.9],
+        );
         check_grad(&x0, 1e-2, |t, x| {
             let r = t.reshape(x, 4, 3);
             let s = t.square(r);

@@ -87,13 +87,7 @@ fn main() {
 
     // Plain custom backbone.
     let model = Appnp::new(graph.feat_dim(), 48, graph.num_classes(), seed);
-    let plain = fit(
-        &model,
-        &GraphTensors::new(&graph),
-        &labels,
-        &split,
-        &TrainConfig::default(),
-    );
+    let plain = fit(&model, &GraphTensors::new(&graph), &labels, &split, &TrainConfig::default());
     println!("\nPlain APPNP test accuracy:  {:.2}%", 100.0 * plain.test_acc);
 
     // GraphRARE around the custom backbone. The convenience `run()` only

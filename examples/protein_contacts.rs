@@ -52,7 +52,8 @@ fn build_contact_graph(seed: u64) -> Graph {
     };
     while g.num_edges() < 450 {
         let a = rng.gen_range(0..RESIDUES);
-        let target_cat = if rng.gen_bool(0.85) { complement(a % CATEGORIES) } else { a % CATEGORIES };
+        let target_cat =
+            if rng.gen_bool(0.85) { complement(a % CATEGORIES) } else { a % CATEGORIES };
         let b = rng.gen_range(0..RESIDUES / CATEGORIES) * CATEGORIES + target_cat;
         if b < RESIDUES {
             g.add_edge(a, b);
@@ -77,12 +78,7 @@ fn main() {
     let seqs = EntropySequences::build(&graph, &table, &SequenceConfig::default());
     println!("\nresidue 0 (category {}): top remote candidates by H(v,u):", graph.label(0));
     for &(u, h) in seqs.additions(0).iter().take(5) {
-        println!(
-            "  residue {:>3} (category {}): H = {:.3}",
-            u,
-            graph.label(u as usize),
-            h
-        );
+        println!("  residue {:>3} (category {}): H = {:.3}", u, graph.label(u as usize), h);
     }
     let same_cat = seqs
         .additions(0)

@@ -27,13 +27,8 @@ fn main() {
     let model_cfg = ModelConfig { seed, ..Default::default() };
     let gcn = build_model(Backbone::Gcn, graph.feat_dim(), graph.num_classes(), &model_cfg);
     let labels = graph.labels().to_vec();
-    let plain = fit(
-        gcn.as_ref(),
-        &GraphTensors::new(&graph),
-        &labels,
-        &split,
-        &TrainConfig::default(),
-    );
+    let plain =
+        fit(gcn.as_ref(), &GraphTensors::new(&graph), &labels, &split, &TrainConfig::default());
     println!("  test accuracy: {:.2}%\n", 100.0 * plain.test_acc);
 
     // 2. GraphRARE-enhanced GCN: entropy ranking + PPO topology edits.
@@ -47,12 +42,7 @@ fn main() {
     );
     println!(
         "  mean episode reward trace: {:?}",
-        report
-            .traces
-            .episode_rewards
-            .iter()
-            .map(|r| format!("{r:+.3}"))
-            .collect::<Vec<_>>()
+        report.traces.episode_rewards.iter().map(|r| format!("{r:+.3}")).collect::<Vec<_>>()
     );
 
     let delta = 100.0 * (report.test_acc - plain.test_acc);

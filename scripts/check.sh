@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints as errors, and the whole test suite.
+# CI and pre-push runs should both go through this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -24,11 +24,9 @@ fn mini_generators_hit_their_homophily_targets() {
 #[test]
 fn full_scale_webkb_datasets_match_table2_exactly() {
     // The three WebKB graphs are small enough to generate at full scale.
-    for (d, nodes, edges) in [
-        (Dataset::Cornell, 183, 295),
-        (Dataset::Texas, 183, 309),
-        (Dataset::Wisconsin, 251, 499),
-    ] {
+    for (d, nodes, edges) in
+        [(Dataset::Cornell, 183, 295), (Dataset::Texas, 183, 309), (Dataset::Wisconsin, 251, 499)]
+    {
         let g = generate_spec(&d.spec(), 7);
         assert_eq!(g.num_nodes(), nodes, "{}", d.name());
         let rel = (g.num_edges() as f64 - edges as f64).abs() / edges as f64;

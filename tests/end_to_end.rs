@@ -44,7 +44,8 @@ fn graphrare_beats_plain_gcn_on_heterophilic_graph() {
         let model = build_model(Backbone::Gcn, g.feat_dim(), g.num_classes(), &model_cfg);
         let labels = g.labels().to_vec();
         let train = TrainConfig { epochs: 60, seed: s, ..Default::default() };
-        plain_total += fit(model.as_ref(), &GraphTensors::new(&g), &labels, &split, &train).test_acc;
+        plain_total +=
+            fit(model.as_ref(), &GraphTensors::new(&g), &labels, &split, &train).test_acc;
         rare_total += run(&g, &split, Backbone::Gcn, &quick_cfg(s)).test_acc;
     }
     assert!(
@@ -98,10 +99,7 @@ fn ablation_modes_respect_edit_constraints() {
     cfg.edit_mode = EditMode::AddOnly;
     let add_only = run(&g, &split, Backbone::Gcn, &cfg);
     for (u, v) in g.edge_vec() {
-        assert!(
-            add_only.optimized_graph.has_edge(u, v),
-            "AddOnly removed edge ({u},{v})"
-        );
+        assert!(add_only.optimized_graph.has_edge(u, v), "AddOnly removed edge ({u},{v})");
     }
 
     cfg.edit_mode = EditMode::RemoveOnly;

@@ -16,17 +16,14 @@ use graphrare_tensor::Matrix;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (4usize..20, 2usize..5, any::<u64>()).prop_flat_map(|(n, classes, seed)| {
         let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(40)).prop_map(
-            move |pairs| {
-                use rand::rngs::StdRng;
-                use rand::{Rng, SeedableRng};
-                let mut rng = StdRng::seed_from_u64(seed);
-                let features =
-                    Matrix::from_fn(n, 6, |_, _| if rng.gen_bool(0.3) { 1.0 } else { 0.0 });
-                let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
-                Graph::from_edges(n, &pairs, features, labels, classes)
-            },
-        )
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(40)).prop_map(move |pairs| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let features = Matrix::from_fn(n, 6, |_, _| if rng.gen_bool(0.3) { 1.0 } else { 0.0 });
+            let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+            Graph::from_edges(n, &pairs, features, labels, classes)
+        })
     })
 }
 

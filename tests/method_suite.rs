@@ -61,10 +61,9 @@ fn mlp_is_topology_invariant_but_gcn_is_not() {
         let m2 = build_model(kind, g.feat_dim(), g.num_classes(), &model_cfg);
         let b = fit(m2.as_ref(), &GraphTensors::new(&rewired), &labels, &split, &train);
         match kind {
-            Backbone::Mlp => assert_eq!(
-                a.test_acc, b.test_acc,
-                "MLP accuracy changed with topology"
-            ),
+            Backbone::Mlp => {
+                assert_eq!(a.test_acc, b.test_acc, "MLP accuracy changed with topology")
+            }
             _ => assert_ne!(
                 (a.test_acc, a.best_val_acc),
                 (b.test_acc, b.best_val_acc),
@@ -83,11 +82,7 @@ fn all_nine_baselines_run_on_a_heterophilic_fixture() {
     };
     for kind in BaselineKind::ALL {
         let report = run_baseline(kind, &g, &split, &cfg);
-        assert!(
-            (0.0..=1.0).contains(&report.test_acc),
-            "{}: invalid accuracy",
-            kind.name()
-        );
+        assert!((0.0..=1.0).contains(&report.test_acc), "{}: invalid accuracy", kind.name());
         assert!(report.epochs_run > 0, "{}: no epochs", kind.name());
     }
 }

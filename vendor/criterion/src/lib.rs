@@ -1,0 +1,186 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness:
+//! a short warm-up, then batched timing until a time budget is spent,
+//! reporting the median ns/iter to stdout.
+//!
+//! No statistics, plots, or baselines; the point is that `cargo bench`
+//! compiles and produces comparable ns/iter numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter over several batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: one untimed call, also used to size batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let batch = if once.as_micros() >= 1000 {
+            1
+        } else {
+            (1000 / once.as_micros().max(1)) as usize + 1
+        };
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 64 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.into(), self.budget, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.into(), self.criterion.budget, f);
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.into(), self.criterion.budget, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &BenchmarkId, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { ns_per_iter: 0.0, budget };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!("bench {label:<48} {:>14.0} ns/iter", bencher.ns_per_iter);
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("spin", |b| b.iter(|| (0..100).map(black_box).sum::<usize>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}
