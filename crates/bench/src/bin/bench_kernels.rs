@@ -13,10 +13,18 @@
 //! with `with_threads`, so `GRAPHRARE_THREADS` does not skew the
 //! comparison; every kernel is bit-identical across rows, only the wall
 //! time changes.
+//!
+//! The JSON output carries run metadata — available parallelism, the
+//! raw `GRAPHRARE_THREADS` value and the thread count it resolves to —
+//! plus the telemetry kernel counters accumulated over the whole run
+//! (`kernel.*.calls` / `kernel.*.rows`), so a result file is
+//! self-describing about how much work it actually timed.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+use graphrare_telemetry as telemetry;
 
 use graphrare_entropy::{
     CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
@@ -94,11 +102,20 @@ fn main() {
         i += 1;
     }
 
+    // Count kernel invocations over the whole run; the per-call cost is
+    // one relaxed load + a counter bump, noise next to the timed 1024³
+    // matmul. `init_from_env` still honours GRAPHRARE_TELEMETRY sinks.
+    telemetry::init_from_env();
+    telemetry::set_enabled(true);
+    let counter_base = telemetry::snapshot();
+
     let available = parallel::available_threads();
+    let threads_env = std::env::var("GRAPHRARE_THREADS").ok();
+    let resolved_threads = parallel::current_threads();
     let mut thread_counts = vec![1usize, 2, 4, available];
     thread_counts.sort_unstable();
     thread_counts.dedup();
-    eprintln!("available parallelism: {available}; thread counts: {thread_counts:?}");
+    telemetry::progress!("available parallelism: {available}; thread counts: {thread_counts:?}");
 
     let mut records = Vec::new();
 
@@ -111,7 +128,7 @@ fn main() {
                 std::hint::black_box(a.matmul(&b));
             })
         });
-        eprintln!("matmul 1024x1024      threads={t:<3} {:>12} ns/iter", ns);
+        telemetry::progress!("matmul 1024x1024      threads={t:<3} {:>12} ns/iter", ns);
         records.push(Record {
             op: "matmul",
             size: "1024x1024x1024".into(),
@@ -131,7 +148,7 @@ fn main() {
                 std::hint::black_box(a_hat.spmm(&x));
             })
         });
-        eprintln!("spmm 5k x 64          threads={t:<3} {:>12} ns/iter", ns);
+        telemetry::progress!("spmm 5k x 64          threads={t:<3} {:>12} ns/iter", ns);
         records.push(Record { op: "spmm", size: size.clone(), threads: t, ns_per_iter: ns });
     }
 
@@ -147,7 +164,7 @@ fn main() {
                 std::hint::black_box(EntropySequences::build(&g, &table, &cfg));
             })
         });
-        eprintln!("sequence_build 5k     threads={t:<3} {:>12} ns/iter", ns);
+        telemetry::progress!("sequence_build 5k     threads={t:<3} {:>12} ns/iter", ns);
         records.push(Record {
             op: "sequence_build",
             size: "5000 nodes, GlobalSample per_node=32".into(),
@@ -156,10 +173,29 @@ fn main() {
         });
     }
 
+    let counters = telemetry::snapshot().since(&counter_base);
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
     let _ = writeln!(json, "  \"available_parallelism\": {available},");
+    match &threads_env {
+        Some(v) => {
+            json.push_str("  \"graphrare_threads_env\": ");
+            telemetry::escape_json_str(v, &mut json);
+            json.push_str(",\n");
+        }
+        None => json.push_str("  \"graphrare_threads_env\": null,\n"),
+    }
+    let _ = writeln!(json, "  \"resolved_threads\": {resolved_threads},");
+    json.push_str("  \"kernel_counters\": {");
+    for (i, (name, value)) in counters.counters.iter().enumerate() {
+        json.push_str(if i == 0 { "\n" } else { ",\n" });
+        json.push_str("    ");
+        telemetry::escape_json_str(name, &mut json);
+        let _ = write!(json, ": {value}");
+    }
+    json.push_str("\n  },\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -175,5 +211,5 @@ fn main() {
         eprintln!("failed to write {}: {e}", output.display());
         std::process::exit(1);
     }
-    eprintln!("wrote {}", output.display());
+    telemetry::progress!("wrote {}", output.display());
 }

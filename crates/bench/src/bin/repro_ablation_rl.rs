@@ -52,7 +52,7 @@ fn main() {
                     }
                 })
                 .collect();
-            eprintln!("{agent:<24} {:<10} {}", d.name(), mean_std_pct(&accs));
+            graphrare_telemetry::progress!("{agent:<24} {:<10} {}", d.name(), mean_std_pct(&accs));
             dataset_means.push(mean(&accs));
             cells.push(mean_std_pct(&accs));
         }

@@ -60,7 +60,7 @@ fn main() {
                     cells.push(format!("{:+.1}", 100.0 * (rare_acc - mean(&accs))));
                 }
                 table.row(cells);
-                eprintln!("{} {} k={k} done", backbone.name(), d.name());
+                graphrare_telemetry::progress!("{} {} k={k} done", backbone.name(), d.name());
             }
             println!(
                 "\nFig. 5 — {} on {}: degradation (accuracy points) of fixed (k, d) vs \

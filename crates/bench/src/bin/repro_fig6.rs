@@ -21,7 +21,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            eprintln!("run {i} ...");
+            graphrare_telemetry::progress!("run {i} ...");
             rare_report(Backbone::Gcn, &g, s, opts.seed + i as u64, &budget)
         })
         .collect();

@@ -45,7 +45,7 @@ fn main() {
             let h = mean(&hs);
             lifts.push(h - originals[di]);
             row.push(format!("{h:.3}"));
-            eprintln!("{}-RARE on {} done", backbone.name(), d.name());
+            graphrare_telemetry::progress!("{}-RARE on {} done", backbone.name(), d.name());
         }
         row.push(format!("{:+.3}", mean(&lifts)));
         table.row(row);

@@ -99,7 +99,7 @@ fn main() {
             let path = format!("results/fig8_{}_matrix.csv", d.name().to_lowercase());
             csv.write_csv(std::path::Path::new(&path)).expect("write csv");
         }
-        eprintln!("{} done", d.name());
+        graphrare_telemetry::progress!("{} done", d.name());
     }
 
     println!("\nFig. 8 — same-label vs cross-label relative entropy\n");

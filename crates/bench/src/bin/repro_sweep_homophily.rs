@@ -47,7 +47,7 @@ fn main() {
             gcn_accs.push(run_plain(&g, &split, Backbone::Gcn, &cfg).test_acc);
             rare_accs.push(run(&g, &split, Backbone::Gcn, &cfg).test_acc);
         }
-        eprintln!("H={h:.2} done");
+        graphrare_telemetry::progress!("H={h:.2} done");
         table.row(vec![
             format!("{h:.2}"),
             format!("{generated_h:.3}"),

@@ -33,7 +33,12 @@ fn main() {
                     run_method(*method, &g, split, opts.seed + i as u64, &budget).test_acc
                 })
                 .collect();
-            eprintln!("{:<16} {:<10} {}", method.name(), d.name(), mean_std_pct(&cells));
+            graphrare_telemetry::progress!(
+                "{:<16} {:<10} {}",
+                method.name(),
+                d.name(),
+                mean_std_pct(&cells)
+            );
             per_dataset.push(cells);
         }
         accs.insert(method.name(), per_dataset);

@@ -40,7 +40,7 @@ fn main() {
                         run(&g, split, backbone, &cfg).test_acc
                     })
                     .collect();
-                eprintln!(
+                graphrare_telemetry::progress!(
                     "{}-RARE lambda={lambda:<4} {:<10} {}",
                     backbone.name(),
                     d.name(),

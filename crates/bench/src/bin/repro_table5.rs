@@ -92,7 +92,11 @@ fn main() {
                 .enumerate()
                 .map(|(i, split)| run_variant(variant, &g, split, opts.seed + i as u64, &budget))
                 .collect();
-            eprintln!("{variant:<18} {:<10} {}", d.name(), mean_std_pct(&accs));
+            graphrare_telemetry::progress!(
+                "{variant:<18} {:<10} {}",
+                d.name(),
+                mean_std_pct(&accs)
+            );
             dataset_means.push(mean(&accs));
             cells.push(mean_std_pct(&accs));
         }

@@ -53,7 +53,7 @@ fn main() {
         for d in &datasets {
             let g = opts.graph(*d);
             cells.push(fmt_ms(time_backbone(b, &g, epochs, opts.seed)));
-            eprintln!("{} timed on {}", b.name(), d.name());
+            graphrare_telemetry::progress!("{} timed on {}", b.name(), d.name());
         }
         table.row(cells);
     }
@@ -73,7 +73,7 @@ fn main() {
             let start = Instant::now();
             let report = run_baseline(kind, &g, split, &cfg);
             cells.push(fmt_ms(start.elapsed().as_secs_f64() / report.epochs_run.max(1) as f64));
-            eprintln!("{} timed on {}", kind.name(), d.name());
+            graphrare_telemetry::progress!("{} timed on {}", kind.name(), d.name());
         }
         table.row(cells);
     }
@@ -90,7 +90,7 @@ fn main() {
             let start = Instant::now();
             let _ = run(&g, split, b, &cfg);
             cells.push(fmt_ms(start.elapsed().as_secs_f64() / cfg.steps as f64));
-            eprintln!("{}-RARE timed on {}", b.name(), d.name());
+            graphrare_telemetry::progress!("{}-RARE timed on {}", b.name(), d.name());
         }
         table.row(cells);
     }
@@ -102,7 +102,7 @@ fn main() {
         let start = Instant::now();
         let _ = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
         cells.push(format!("{:.3}s", start.elapsed().as_secs_f64()));
-        eprintln!("entropy timed on {}", d.name());
+        graphrare_telemetry::progress!("entropy timed on {}", d.name());
     }
     table.row(cells);
 

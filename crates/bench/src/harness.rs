@@ -39,14 +39,23 @@ impl Default for HarnessOptions {
 
 impl HarnessOptions {
     /// Parses options from the process arguments:
-    /// `--full`, `--splits N`, `--seed N`, `--datasets name,name`.
+    /// `--full`, `--splits N`, `--seed N`, `--datasets name,name`,
+    /// `--quiet`.
+    ///
+    /// Also initialises the telemetry registry from
+    /// `GRAPHRARE_TELEMETRY`, so every repro binary honours the same
+    /// observability switches as the `graphrare` CLI. Progress lines go
+    /// to stderr (suppressed by `--quiet`); stdout carries only the
+    /// machine-parseable tables.
     pub fn from_args() -> Self {
+        graphrare_telemetry::init_from_env();
         let mut opts = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => opts.scale = Scale::Full,
+                "--quiet" => graphrare_telemetry::set_quiet(true),
                 "--splits" => {
                     i += 1;
                     opts.splits = args[i].parse().expect("--splits needs a number");

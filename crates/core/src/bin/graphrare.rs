@@ -9,13 +9,21 @@
 //! graphrare --input data/mygraph --output out/mygraph-optimized \
 //!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
 //!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
-//!           [--threads N]
+//!           [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]
 //! ```
 //!
 //! `--threads 0` (the default) resolves the worker count from
 //! `GRAPHRARE_THREADS`, falling back to the machine's available
 //! parallelism; `--threads 1` forces serial execution. Results are
 //! bit-identical either way.
+//!
+//! Observability: progress lines go to **stderr** (suppressed by
+//! `--quiet`); the machine-parseable result summary goes to stdout.
+//! `--telemetry` enables the registry with the human-readable stderr
+//! sink; `--telemetry-out PATH` streams structured JSONL events to
+//! `PATH`. `GRAPHRARE_TELEMETRY` configures the same switches from the
+//! environment. Telemetry is observational only — enabling it never
+//! changes a numeric result.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +32,7 @@ use graphrare::{run, GraphRareConfig, RlAlgo};
 use graphrare_datasets::stratified_split;
 use graphrare_gnn::Backbone;
 use graphrare_graph::{io, metrics};
+use graphrare_telemetry::{self as telemetry, progress};
 
 struct Args {
     input: PathBuf,
@@ -36,6 +45,9 @@ struct Args {
     k_cap: usize,
     algo: RlAlgo,
     threads: usize,
+    quiet: bool,
+    telemetry: bool,
+    telemetry_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -43,7 +55,7 @@ fn usage() -> ! {
         "usage: graphrare --input <prefix> [--output <prefix>] \
          [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
          [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c] \
-         [--threads N]"
+         [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]"
     );
     std::process::exit(2);
 }
@@ -60,6 +72,9 @@ fn parse_args() -> Args {
         k_cap: 10,
         algo: RlAlgo::Ppo,
         threads: 0,
+        quiet: false,
+        telemetry: false,
+        telemetry_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +108,9 @@ fn parse_args() -> Args {
             "--split-seed" => args.split_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--k-cap" => args.k_cap = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--quiet" => args.quiet = true,
+            "--telemetry" => args.telemetry = true,
+            "--telemetry-out" => args.telemetry_out = Some(PathBuf::from(value(&mut i))),
             "--algo" => {
                 args.algo = match value(&mut i).to_lowercase().as_str() {
                     "ppo" => RlAlgo::Ppo,
@@ -119,6 +137,27 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    telemetry::init_from_env();
+    if args.quiet {
+        telemetry::set_quiet(true);
+    }
+    if args.telemetry {
+        telemetry::add_sink(Box::new(telemetry::StderrSink));
+        telemetry::set_enabled(true);
+    }
+    if let Some(path) = &args.telemetry_out {
+        match telemetry::JsonlSink::create(path) {
+            Ok(sink) => {
+                telemetry::add_sink(Box::new(sink));
+                telemetry::set_enabled(true);
+            }
+            Err(e) => {
+                eprintln!("failed to open telemetry output {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let graph = match io::read_graph(&args.input) {
         Ok(g) => g,
         Err(e) => {
@@ -126,7 +165,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
+    progress!(
         "loaded {}: {} nodes, {} edges, {} classes, {} features, homophily {:.3}",
         args.input.display(),
         graph.num_nodes(),
@@ -144,7 +183,7 @@ fn main() -> ExitCode {
     cfg.algo = args.algo;
     cfg.threads = args.threads;
 
-    println!(
+    progress!(
         "running {}-RARE ({:?}, {} DRL steps, lambda {}, k-cap {}) ...",
         args.backbone.name(),
         args.algo,
@@ -153,6 +192,12 @@ fn main() -> ExitCode {
         args.k_cap
     );
     let report = run(&graph, &split, args.backbone, &cfg);
+
+    if let Some(summary) = &report.telemetry {
+        if !telemetry::quiet() {
+            eprint!("{}", summary.render_table());
+        }
+    }
 
     println!("test accuracy (best-validation checkpoint): {:.2}%", 100.0 * report.test_acc);
     println!("best validation accuracy:                   {:.2}%", 100.0 * report.best_val_acc);
@@ -171,7 +216,7 @@ fn main() -> ExitCode {
             eprintln!("failed to write {}: {e}", out.display());
             return ExitCode::FAILURE;
         }
-        println!("optimised graph written to {}.{{edges,features,labels}}", out.display());
+        progress!("optimised graph written to {}.{{edges,features,labels}}", out.display());
     }
     ExitCode::SUCCESS
 }

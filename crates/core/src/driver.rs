@@ -8,6 +8,7 @@ use graphrare_graph::{metrics, Graph};
 use graphrare_rl::{
     A2cAgent, A2cConfig, GlobalPolicy, PpoAgent, PpoStats, RolloutBuffer, SharedPolicy, ValueNet,
 };
+use graphrare_telemetry as telemetry;
 
 use crate::config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
 use crate::reward::{PerfSnapshot, RewardKind};
@@ -46,6 +47,11 @@ pub struct RareReport {
     pub traces: RunTraces,
     /// The optimised graph itself.
     pub optimized_graph: Graph,
+    /// Run-scoped telemetry aggregate (spans, counters, histograms)
+    /// when the global registry was enabled for the run, else `None`.
+    /// Strictly observational: every other field is bit-identical
+    /// whether or not telemetry was on.
+    pub telemetry: Option<telemetry::Summary>,
 }
 
 enum AgentBox {
@@ -151,6 +157,9 @@ pub fn run(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConf
     // Apply the thread knob before the first kernel call; 0 keeps the
     // env-var/auto resolution (see `graphrare_tensor::parallel`).
     graphrare_tensor::parallel::set_threads(cfg.threads);
+    // The run-scoped baseline is taken before the entropy precompute so
+    // the report's telemetry aggregate covers the whole of Algorithm 1.
+    let baseline = telemetry::enabled().then(telemetry::snapshot);
     // Lines 1–6: relative entropy and sequences, computed once.
     let table = RelativeEntropyTable::new(graph, &cfg.entropy);
     let seqs = EntropySequences::build(graph, &table, &cfg.sequences);
@@ -158,7 +167,7 @@ pub fn run(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConf
         SequenceMode::Entropy => seqs,
         SequenceMode::Shuffled { seed } => seqs.shuffled(seed),
     };
-    run_with_sequences(graph, seqs, split, backbone, cfg)
+    run_inner(graph, seqs, split, backbone, cfg, baseline)
 }
 
 /// [`run`] with externally supplied sequences (used by ablations that
@@ -170,7 +179,24 @@ pub fn run_with_sequences(
     backbone: Backbone,
     cfg: &GraphRareConfig,
 ) -> RareReport {
+    let baseline = telemetry::enabled().then(telemetry::snapshot);
+    run_inner(graph, sequences, split, backbone, cfg, baseline)
+}
+
+/// Algorithm 1 proper, shared by [`run`] and [`run_with_sequences`];
+/// `baseline` is the registry snapshot the run-scoped telemetry
+/// aggregate is measured against.
+fn run_inner(
+    graph: &Graph,
+    sequences: EntropySequences,
+    split: &Split,
+    backbone: Backbone,
+    cfg: &GraphRareConfig,
+    baseline: Option<telemetry::Summary>,
+) -> RareReport {
     graphrare_tensor::parallel::set_threads(cfg.threads);
+    let run_clock = telemetry::Stopwatch::start();
+    let run_span = telemetry::span("driver.run");
     let labels = graph.labels().to_vec();
     let num_classes = graph.num_classes();
     let want_auc = matches!(cfg.reward, RewardKind::Auc);
@@ -180,6 +206,16 @@ pub fn run_with_sequences(
 
     let model = build_model(backbone, graph.feat_dim(), num_classes, &cfg.model);
     let mut trainer = Trainer::new(model.as_ref(), &cfg.train);
+
+    telemetry::emit_with(|| {
+        telemetry::Event::new("run_start")
+            .str("backbone", model.name())
+            .u64("nodes", graph.num_nodes() as u64)
+            .u64("edges", graph.num_edges() as u64)
+            .f64("homophily", metrics::homophily_ratio(graph))
+            .u64("steps", cfg.steps as u64)
+            .u64("threads", graphrare_tensor::parallel::current_threads() as u64)
+    });
 
     // Warm-up on the original graph so the reward signal and the RL
     // loop's validation comparisons reflect a (near-)converged model.
@@ -199,6 +235,11 @@ pub fn run_with_sequences(
             } else {
                 since += 1;
                 if since >= cfg.train.patience {
+                    telemetry::emit_with(|| {
+                        telemetry::Event::new("early_stop")
+                            .str("phase", "warmup")
+                            .f64("best_val_acc", warm_best)
+                    });
                     break;
                 }
             }
@@ -222,7 +263,10 @@ pub fn run_with_sequences(
     let mut window_reward = 0f32;
     let mut window_steps = 0usize;
 
-    for _t in 0..cfg.steps {
+    let base_edges = topo.base().num_edges();
+    for t in 0..cfg.steps {
+        let iter_clock = telemetry::Stopwatch::start();
+        let _iter_span = telemetry::span("driver.iter");
         // DRL step: act on S_t, transition to S_{t+1} (Eq. 10), rebuild G.
         let features = state.features();
         let (actions, logp, value) = agent.act(&features);
@@ -232,7 +276,8 @@ pub fn run_with_sequences(
 
         // Lines 9–13: evaluate; fine-tune on improvement.
         let cur = snapshot(model.as_ref(), &gt, &labels, &split.train, num_classes, want_auc);
-        if cur.accuracy > max_acc {
+        let finetuned = cur.accuracy > max_acc;
+        if finetuned {
             max_acc = cur.accuracy;
             trainer.train_epochs(model.as_ref(), &gt, &labels, &split.train, cfg.finetune_epochs);
         }
@@ -247,22 +292,66 @@ pub fn run_with_sequences(
 
         // Traces + best-checkpoint tracking.
         let val_eval = evaluate(model.as_ref(), &gt, &labels, &split.val);
+        let hom = metrics::homophily_ratio(&g_t);
+        let g_t_edges = g_t.num_edges();
         traces.train_acc.push(prev.accuracy);
         traces.val_acc.push(val_eval.accuracy);
-        traces.homophily.push(metrics::homophily_ratio(&g_t));
+        traces.homophily.push(hom);
         if val_eval.accuracy > best_val {
             best_val = val_eval.accuracy;
             best_params = trainer.snapshot();
             best_graph = g_t;
         }
 
+        // One structured event per outer iteration. Emitted before the
+        // window update so the k/d vector is read pre-reset; fields are
+        // copies of values the loop computes anyway — telemetry observes,
+        // it never steers.
+        telemetry::counter("driver.iters", 1);
+        telemetry::emit_with(|| {
+            let n = state.num_nodes();
+            let (mut k_max_used, mut d_max_used) = (0usize, 0usize);
+            for v in 0..n {
+                k_max_used = k_max_used.max(state.k(v));
+                d_max_used = d_max_used.max(state.d(v));
+            }
+            telemetry::Event::new("iter")
+                .u64("step", t as u64)
+                .f64("reward", reward as f64)
+                .f64("train_acc", prev.accuracy)
+                .f64("val_acc", val_eval.accuracy)
+                .f64("loss", prev.loss)
+                .f64("homophily", hom)
+                .u64("edges", g_t_edges as u64)
+                .i64("edge_delta", g_t_edges as i64 - base_edges as i64)
+                .u64("edges_added", state.total_k() as u64)
+                .u64("edges_deleted", state.total_d() as u64)
+                .f64("k_mean", state.total_k() as f64 / n.max(1) as f64)
+                .u64("k_max", k_max_used as u64)
+                .f64("d_mean", state.total_d() as f64 / n.max(1) as f64)
+                .u64("d_max", d_max_used as u64)
+                .bool("finetuned", finetuned)
+                .u64("wall_ns", iter_clock.ns())
+        });
+
         if window_end {
-            traces.episode_rewards.push(window_reward / cfg.update_every.max(1) as f32);
+            let window_mean = window_reward / cfg.update_every.max(1) as f32;
+            traces.episode_rewards.push(window_mean);
             window_reward = 0.0;
             window_steps = 0;
             let last_value =
                 if cfg.reset_each_episode { 0.0 } else { agent.value_of(&state.features()) };
             let stats = agent.update(&buffer, last_value);
+            telemetry::counter("driver.ppo_updates", 1);
+            telemetry::emit_with(|| {
+                telemetry::Event::new("ppo_update")
+                    .u64("step", t as u64)
+                    .f64("policy_loss", stats.policy_loss as f64)
+                    .f64("value_loss", stats.value_loss as f64)
+                    .f64("entropy", stats.entropy as f64)
+                    .f64("approx_kl", stats.approx_kl as f64)
+                    .f64("window_reward", window_mean as f64)
+            });
             traces.ppo_stats.push(stats);
             buffer.clear();
             if cfg.reset_each_episode {
@@ -323,14 +412,27 @@ pub fn run_with_sequences(
     let best_gt = GraphTensors::new(&winner_graph);
     let test_eval = evaluate(model.as_ref(), &best_gt, &labels, &split.test);
 
+    let optimized_homophily = metrics::homophily_ratio(&winner_graph);
+    telemetry::emit_with(|| {
+        telemetry::Event::new("run_end")
+            .f64("test_acc", test_eval.accuracy)
+            .f64("best_val_acc", best_val)
+            .f64("optimized_homophily", optimized_homophily)
+            .u64("wall_ns", run_clock.ns())
+    });
+    telemetry::flush();
+    // Close the run span before the snapshot so the aggregate includes it.
+    drop(run_span);
+
     RareReport {
         backbone: model.name(),
         test_acc: test_eval.accuracy,
         best_val_acc: best_val,
         original_homophily: metrics::homophily_ratio(graph),
-        optimized_homophily: metrics::homophily_ratio(&winner_graph),
+        optimized_homophily,
         traces,
         optimized_graph: winner_graph,
+        telemetry: baseline.map(|b| telemetry::snapshot().since(&b)),
     }
 }
 

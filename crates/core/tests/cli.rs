@@ -65,6 +65,42 @@ fn cli_optimizes_a_graph_bundle() {
 }
 
 #[test]
+fn cli_telemetry_out_writes_valid_jsonl_and_quiet_stderr() {
+    let dir = fixture_dir("telemetry");
+    let input = dir.join("toy");
+    let events = dir.join("events.jsonl");
+    io::write_graph(&small_graph(), &input).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_graphrare"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--steps",
+            "8",
+            "--seed",
+            "3",
+            "--quiet",
+            "--telemetry-out",
+            events.to_str().unwrap(),
+        ])
+        .output()
+        .expect("CLI binary runs");
+    assert!(out.status.success(), "CLI failed: {}", String::from_utf8_lossy(&out.stderr));
+    // --quiet suppresses the progress stream entirely.
+    assert!(out.stderr.is_empty(), "stderr not quiet: {}", String::from_utf8_lossy(&out.stderr));
+    // The result summary stays machine-parseable on stdout.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("test accuracy"));
+
+    let n = graphrare_telemetry::json::validate_jsonl_file(&events)
+        .expect("telemetry stream is valid JSONL");
+    assert!(n >= 8, "expected >= 8 events (one per DRL step), got {n}");
+    let text = std::fs::read_to_string(&events).unwrap();
+    let iter_lines = text.lines().filter(|l| l.starts_with("{\"v\":1,\"event\":\"iter\"")).count();
+    assert_eq!(iter_lines, 8, "one iter event per --steps iteration");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn cli_rejects_missing_input() {
     let out = Command::new(env!("CARGO_BIN_EXE_graphrare"))
         .args(["--input", "/nonexistent/prefix"])

@@ -74,6 +74,7 @@ impl EntropySequences {
     /// independent of visit order — the output is identical for any
     /// thread count.
     pub fn build(g: &Graph, table: &RelativeEntropyTable, cfg: &SequenceConfig) -> Self {
+        let clock = graphrare_telemetry::Stopwatch::start();
         let n = g.num_nodes();
         // Descending entropy; node id breaks ties deterministically. Ids
         // are unique within a pool, so this is a strict total order and
@@ -107,6 +108,13 @@ impl EntropySequences {
             (ranked, dels)
         });
         let (additions, deletions) = per_node.into_iter().unzip();
+        let build_ns = clock.ns();
+        graphrare_telemetry::record_span("entropy.sequence_build", build_ns);
+        graphrare_telemetry::emit_with(|| {
+            graphrare_telemetry::Event::new("entropy_sequences")
+                .u64("nodes", n as u64)
+                .u64("build_ns", build_ns)
+        });
         Self { additions, deletions }
     }
 

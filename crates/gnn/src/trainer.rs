@@ -128,6 +128,7 @@ impl Trainer {
         train_mask: &[usize],
     ) -> f64 {
         assert!(!train_mask.is_empty(), "train_epoch: empty training mask");
+        let _span = graphrare_telemetry::span("train.epoch");
         zero_grads(&self.params);
         let mut tape = Tape::new();
         let logits = model.forward(&mut tape, gt, true, &mut self.rng);
@@ -137,6 +138,10 @@ impl Trainer {
         tape.backward(loss);
         clip_grad_norm(&self.params, self.grad_clip);
         self.opt.step(&self.params);
+        graphrare_telemetry::counter("train.epochs", 1);
+        graphrare_telemetry::emit_with(|| {
+            graphrare_telemetry::Event::new("epoch").f64("train_loss", loss_value)
+        });
         loss_value
     }
 
@@ -203,6 +208,12 @@ pub fn fit(
         } else {
             since_best += 1;
             if since_best >= cfg.patience {
+                graphrare_telemetry::emit_with(|| {
+                    graphrare_telemetry::Event::new("early_stop")
+                        .str("phase", "fit")
+                        .u64("epochs_run", epochs_run as u64)
+                        .f64("best_val_acc", best_val)
+                });
                 break;
             }
         }

@@ -1,0 +1,194 @@
+//! # graphrare-telemetry
+//!
+//! Zero-dependency (std-only) observability for the GraphRARE
+//! workspace: lightweight spans with wall-clock timing, counters and
+//! fixed-bucket histograms aggregated per span, and structured
+//! training/kernel event streams with a stable, versioned JSONL
+//! schema.
+//!
+//! ## Model
+//!
+//! * **Spans** ([`span`], [`SpanGuard`]) measure wall time with RAII
+//!   guards and aggregate per name (count / total / min / max plus a
+//!   duration histogram).
+//! * **Counters** ([`counter`], [`gauge_max`]) are monotonic `u64`
+//!   aggregates keyed by static names — the tensor runtime counts
+//!   kernel calls, rows and threads through them.
+//! * **Events** ([`Event`], [`emit_with`]) are structured records
+//!   fanned out to pluggable [`Sink`]s: a human-readable stderr sink
+//!   and a machine-readable JSONL sink with schema version
+//!   [`SCHEMA_VERSION`].
+//! * The **registry** ([`registry`]) is global and thread-safe,
+//!   controlled by the `GRAPHRARE_TELEMETRY` environment variable
+//!   ([`init_from_env`]) or CLI flags, and costs one relaxed atomic
+//!   load per instrumentation point while disabled.
+//!
+//! ## Contract
+//!
+//! Telemetry is strictly observational: enabling it must not change
+//! any numeric result. Instrumentation only reads values the
+//! computation already produced and never touches an RNG, so a run
+//! with telemetry on is bit-identical to the same run with telemetry
+//! off (asserted by `crates/core/tests/telemetry.rs`).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod sink;
+
+pub use event::{escape_json_str, Event, Value, SCHEMA_VERSION};
+pub use metrics::{Histogram, MetricsStore, SpanStats, SpanSummary, Summary};
+pub use registry::{
+    add_sink, clear_sinks, counter, emit, emit_with, enabled, flush, gauge_max, init_from_env,
+    progress_args, quiet, record_span, reset, set_enabled, set_quiet, snapshot, span, SpanGuard,
+    Stopwatch,
+};
+pub use sink::{JsonlSink, Sink, StderrSink, VecSink};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests that flip it on must not
+    /// interleave.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        counter("test.disabled", 5);
+        {
+            let _span = span("test.disabled.span");
+        }
+        let s = snapshot();
+        assert_eq!(s.counter("test.disabled"), 0);
+        assert!(s.span("test.disabled.span").is_none());
+    }
+
+    #[test]
+    fn enabled_registry_aggregates_counters_and_spans() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        counter("test.calls", 2);
+        counter("test.calls", 3);
+        gauge_max("test.max", 7);
+        gauge_max("test.max", 4);
+        {
+            let _span = span("test.span");
+            std::hint::black_box(());
+        }
+        record_span("test.span", 1_000);
+        let s = snapshot();
+        set_enabled(false);
+        assert_eq!(s.counter("test.calls"), 5);
+        assert_eq!(s.counter("test.max"), 7);
+        let sp = s.span("test.span").unwrap();
+        assert_eq!(sp.count, 2);
+        assert!(sp.total_ns >= 1_000);
+    }
+
+    #[test]
+    fn nested_spans_each_record_once() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("test.outer");
+            {
+                let _inner = span("test.inner");
+            }
+            {
+                let _inner = span("test.inner");
+            }
+        }
+        let s = snapshot();
+        set_enabled(false);
+        assert_eq!(s.span("test.outer").unwrap().count, 1);
+        assert_eq!(s.span("test.inner").unwrap().count, 2);
+        // The outer span covers both inner spans.
+        assert!(
+            s.span("test.outer").unwrap().total_ns >= s.span("test.inner").unwrap().total_ns,
+            "outer shorter than the inners it encloses"
+        );
+    }
+
+    #[test]
+    fn events_reach_installed_sinks_only_while_enabled() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        clear_sinks();
+        let (sink, events) = VecSink::new();
+        add_sink(Box::new(sink));
+        emit_with(|| Event::new("dropped"));
+        set_enabled(true);
+        emit_with(|| Event::new("kept").u64("n", 1));
+        set_enabled(false);
+        clear_sinks();
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), "kept");
+    }
+
+    #[test]
+    fn stopwatch_reads_zero_while_disabled() {
+        let _x = exclusive();
+        set_enabled(false);
+        let mut sw = Stopwatch::start();
+        assert_eq!(sw.ns(), 0);
+        assert_eq!(sw.lap_ns(), 0);
+        set_enabled(true);
+        let sw = Stopwatch::start();
+        set_enabled(false);
+        // Enabled at construction: the clock is live regardless of the
+        // flag afterwards.
+        let _ = sw.ns();
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..250 {
+                        counter("test.concurrent", 1);
+                    }
+                });
+            }
+        });
+        let s = snapshot();
+        set_enabled(false);
+        assert_eq!(s.counter("test.concurrent"), 1000);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_validatable_lines() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        clear_sinks();
+        let path = std::env::temp_dir().join("graphrare-telemetry-unit.jsonl");
+        add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        set_enabled(true);
+        emit_with(|| Event::new("a").u64("x", 1));
+        emit_with(|| Event::new("b").f64("y", -0.5).str("s", "multi\nline"));
+        set_enabled(false);
+        clear_sinks();
+        let n = json::validate_jsonl_file(&path).unwrap();
+        assert_eq!(n, 2);
+        let _ = std::fs::remove_file(path);
+    }
+}

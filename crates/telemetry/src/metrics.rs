@@ -1,0 +1,359 @@
+//! Aggregated metrics: counters, fixed-bucket histograms and per-span
+//! duration statistics.
+//!
+//! Everything here is plain data — the global registry
+//! ([`crate::registry`]) owns one [`MetricsStore`] behind a mutex and
+//! the driver surfaces run-scoped [`Summary`] diffs in its report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Upper bounds (inclusive, nanoseconds) of the fixed duration buckets;
+/// one decade per bucket from 1µs to 10s, with an overflow bucket after
+/// the last bound.
+pub const DURATION_BUCKET_BOUNDS_NS: [u64; 8] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000];
+
+/// Number of histogram buckets (the bounds plus one overflow bucket).
+pub const NUM_BUCKETS: usize = DURATION_BUCKET_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket histogram over nanosecond durations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, ns: u64) {
+        let idx = DURATION_BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Per-bucket counts; index `i` counts observations in
+    /// `(bound[i-1], bound[i]]`, the last bucket everything above.
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket-wise saturating difference (`self` minus `earlier`); used
+    /// for run-scoped aggregation against a baseline snapshot.
+    pub fn saturating_diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for (i, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
+/// Aggregated statistics of one named span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u64,
+    /// Shortest observation (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Longest observation.
+    pub max_ns: u64,
+    /// Duration histogram over [`DURATION_BUCKET_BOUNDS_NS`].
+    pub hist: Histogram,
+}
+
+impl SpanStats {
+    /// Folds one completed span into the stats.
+    pub fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+        self.hist.record(ns);
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The mutable aggregation state: counters and spans, keyed by static
+/// names so hot paths never allocate.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsStore {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Per-span aggregates.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl MetricsStore {
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Raises a counter to `value` if it is currently lower (a
+    /// max-gauge; used for "threads used" style facts).
+    pub fn raise(&mut self, name: &'static str, value: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Records a completed span duration.
+    pub fn record_span(&mut self, name: &'static str, ns: u64) {
+        self.spans.entry(name).or_default().record(ns);
+    }
+
+    /// Immutable summary copy of the current state.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            counters: self.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(&k, &v)| SpanSummary {
+                    name: k.to_string(),
+                    count: v.count,
+                    total_ns: v.total_ns,
+                    min_ns: v.min_ns,
+                    max_ns: v.max_ns,
+                    buckets: *v.hist.counts(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Read-only summary of one span, as surfaced in [`Summary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u64,
+    /// Shortest observation (from the later snapshot when diffed).
+    pub min_ns: u64,
+    /// Longest observation (from the later snapshot when diffed).
+    pub max_ns: u64,
+    /// Histogram bucket counts.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+/// A point-in-time (or run-scoped, when diffed) copy of every counter
+/// and span aggregate, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// `(name, value)` counter pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Per-span aggregates.
+    pub spans: Vec<SpanSummary>,
+}
+
+impl Summary {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Span summary by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Run-scoped view: this snapshot minus an `earlier` baseline.
+    /// Counters, span counts, totals and histogram buckets subtract;
+    /// `min_ns`/`max_ns` are kept from `self` (extrema are not
+    /// diffable). Entries that did not change are dropped.
+    pub fn since(&self, earlier: &Summary) -> Summary {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, value)| {
+                let delta = value.saturating_sub(earlier.counter(name));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let base = earlier.span(&s.name);
+                let count = s.count.saturating_sub(base.map_or(0, |b| b.count));
+                if count == 0 {
+                    return None;
+                }
+                let mut buckets = [0u64; NUM_BUCKETS];
+                for (i, slot) in buckets.iter_mut().enumerate() {
+                    *slot = s.buckets[i].saturating_sub(base.map_or(0, |b| b.buckets[i]));
+                }
+                Some(SpanSummary {
+                    name: s.name.clone(),
+                    count,
+                    total_ns: s.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                    buckets,
+                })
+            })
+            .collect();
+        Summary { counters, spans }
+    }
+
+    /// Renders the summary as an aligned, human-readable text table
+    /// (spans first, then counters) for the repro binaries.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>9} {:>12} {:>12} {:>12}",
+                "span", "count", "total_ms", "mean_us", "max_us"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>9} {:>12.3} {:>12.1} {:>12.1}",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    if s.count == 0 { 0.0 } else { s.total_ns as f64 / s.count as f64 / 1e3 },
+                    s.max_ns as f64 / 1e3,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<42} {:>16}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<42} {value:>16}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let mut h = Histogram::default();
+        h.record(0); // <= 1µs -> bucket 0
+        h.record(1_000); // inclusive bound -> bucket 0
+        h.record(1_001); // -> bucket 1
+        h.record(5_000_000); // -> bucket 4 (<= 10ms)
+        h.record(u64::MAX); // overflow bucket
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[NUM_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(10);
+        a.record(2_000);
+        b.record(10);
+        b.record(20_000_000_000);
+        a.merge(&b);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[1], 1);
+        assert_eq!(a.counts()[NUM_BUCKETS - 1], 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn histogram_diff_subtracts() {
+        let mut early = Histogram::default();
+        early.record(10);
+        let mut late = early;
+        late.record(10);
+        late.record(5_000);
+        let d = late.saturating_diff(&early);
+        assert_eq!(d.counts()[0], 1);
+        assert_eq!(d.counts()[1], 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn span_stats_track_extrema_and_mean() {
+        let mut s = SpanStats::default();
+        s.record(100);
+        s.record(300);
+        s.record(200);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 600);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200);
+    }
+
+    #[test]
+    fn store_counters_and_gauges() {
+        let mut m = MetricsStore::default();
+        m.add("calls", 2);
+        m.add("calls", 3);
+        m.raise("threads", 4);
+        m.raise("threads", 2);
+        let s = m.summary();
+        assert_eq!(s.counter("calls"), 5);
+        assert_eq!(s.counter("threads"), 4);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn summary_since_subtracts_and_drops_unchanged() {
+        let mut m = MetricsStore::default();
+        m.add("a", 1);
+        m.add("b", 2);
+        m.record_span("s", 50);
+        let before = m.summary();
+        m.add("a", 4);
+        m.record_span("s", 150);
+        m.record_span("t", 9);
+        let delta = m.summary().since(&before);
+        assert_eq!(delta.counter("a"), 4);
+        assert!(delta.counters.iter().all(|(k, _)| k != "b"), "unchanged counter kept");
+        let s = delta.span("s").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_ns, 150);
+        assert_eq!(delta.span("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn render_table_mentions_every_entry() {
+        let mut m = MetricsStore::default();
+        m.add("kernel.matmul.calls", 7);
+        m.record_span("train.epoch", 1_500);
+        let text = m.summary().render_table();
+        assert!(text.contains("kernel.matmul.calls"));
+        assert!(text.contains("train.epoch"));
+    }
+}

@@ -1,0 +1,262 @@
+//! The global, thread-safe telemetry registry.
+//!
+//! One process-wide registry aggregates counters and spans and fans
+//! events out to the installed sinks. It is **off by default**: every
+//! recording entry point first checks a relaxed atomic flag and
+//! returns immediately when disabled, so instrumentation in hot
+//! kernels costs one predictable branch. Enabling telemetry only adds
+//! observation — it never touches RNG streams, accumulation order or
+//! any other numeric state, so results are bit-identical with
+//! telemetry on or off.
+//!
+//! Control surface:
+//! * programmatic — [`set_enabled`], [`add_sink`], [`reset`];
+//! * environment — [`init_from_env`] reads `GRAPHRARE_TELEMETRY`
+//!   (`0`/unset = off, `1` = aggregate only, `stderr` = aggregate +
+//!   human-readable progress sink, anything else = path of a JSONL
+//!   event file);
+//! * CLI — the `graphrare` binary maps `--telemetry` /
+//!   `--telemetry-out PATH` onto the same calls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::metrics::{MetricsStore, Summary};
+use crate::sink::{JsonlSink, Sink, StderrSink};
+
+/// Fast-path gate; all recording is skipped while this is `false`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Gate for the human-readable progress stream (`progress!`).
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+struct State {
+    metrics: MetricsStore,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State { metrics: MetricsStore::default(), sinks: Vec::new() }))
+}
+
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    // A poisoned mutex means a panic mid-record; telemetry is
+    // best-effort, so keep serving the remaining threads.
+    let mut guard = state().lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut guard)
+}
+
+/// Whether telemetry recording is on. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry recording on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the human-readable progress stream is suppressed.
+#[inline]
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Suppresses (or restores) the progress stream; the CLI's `--quiet`.
+pub fn set_quiet(on: bool) {
+    QUIET.store(on, Ordering::Relaxed);
+}
+
+/// Configures the registry from `GRAPHRARE_TELEMETRY`:
+/// unset/empty/`0` leaves it off; `1` enables aggregation; `stderr`
+/// additionally installs the human-readable sink; any other value is
+/// treated as the path of a JSONL event file. Returns whether
+/// telemetry ended up enabled.
+pub fn init_from_env() -> bool {
+    match std::env::var("GRAPHRARE_TELEMETRY") {
+        Err(_) => false,
+        Ok(v) => {
+            let v = v.trim();
+            match v {
+                "" | "0" => false,
+                "1" => {
+                    set_enabled(true);
+                    true
+                }
+                "stderr" => {
+                    add_sink(Box::new(StderrSink));
+                    set_enabled(true);
+                    true
+                }
+                path => {
+                    match JsonlSink::create(std::path::Path::new(path)) {
+                        Ok(sink) => add_sink(Box::new(sink)),
+                        Err(e) => eprintln!("telemetry: cannot open {path}: {e}"),
+                    }
+                    set_enabled(true);
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// Installs a sink; it receives every event emitted from now on.
+pub fn add_sink(sink: Box<dyn Sink>) {
+    with_state(|s| s.sinks.push(sink));
+}
+
+/// Flushes and removes every installed sink.
+pub fn clear_sinks() {
+    with_state(|s| {
+        for sink in &mut s.sinks {
+            sink.flush();
+        }
+        s.sinks.clear();
+    });
+}
+
+/// Flushes every installed sink (e.g. before reading an output file).
+pub fn flush() {
+    with_state(|s| {
+        for sink in &mut s.sinks {
+            sink.flush();
+        }
+    });
+}
+
+/// Zeroes all counters and span aggregates. Sinks stay installed.
+pub fn reset() {
+    with_state(|s| s.metrics = MetricsStore::default());
+}
+
+/// Adds `delta` to a counter. No-op while disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        with_state(|s| s.metrics.add(name, delta));
+    }
+}
+
+/// Raises a max-gauge to `value` if it is currently lower. No-op while
+/// disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if enabled() {
+        with_state(|s| s.metrics.raise(name, value));
+    }
+}
+
+/// Records a completed span duration directly (for call sites that
+/// measure themselves). No-op while disabled.
+#[inline]
+pub fn record_span(name: &'static str, ns: u64) {
+    if enabled() {
+        with_state(|s| s.metrics.record_span(name, ns));
+    }
+}
+
+/// Sends a pre-built event to every sink. Prefer [`emit_with`], which
+/// skips event construction while disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| {
+        for sink in &mut s.sinks {
+            sink.emit(&event);
+        }
+    });
+}
+
+/// Builds and emits an event only when telemetry is enabled; the
+/// closure (and all its field formatting/allocation) is skipped
+/// entirely otherwise.
+#[inline]
+pub fn emit_with(build: impl FnOnce() -> Event) {
+    if enabled() {
+        emit(build());
+    }
+}
+
+/// Point-in-time copy of all counters and span aggregates.
+pub fn snapshot() -> Summary {
+    with_state(|s| s.metrics.summary())
+}
+
+/// RAII span: measures wall time from construction to drop and folds
+/// it into the named span aggregate. When telemetry is disabled at
+/// construction the guard holds no clock and drop is a no-op.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            record_span(self.name, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a named span; see [`SpanGuard`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard { name, start: enabled().then(Instant::now) }
+}
+
+/// A manual wall-clock; reads 0 while telemetry is disabled so timing
+/// fields can be computed unconditionally at instrumented call sites.
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts the clock (a no-op clock when telemetry is disabled).
+    pub fn start() -> Self {
+        Self { start: enabled().then(Instant::now) }
+    }
+
+    /// Nanoseconds since start (0 while disabled).
+    pub fn ns(&self) -> u64 {
+        self.start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+    }
+
+    /// Nanoseconds since start or the previous `lap_ns` call
+    /// (0 while disabled).
+    pub fn lap_ns(&mut self) -> u64 {
+        match self.start {
+            None => 0,
+            Some(prev) => {
+                let now = Instant::now();
+                let ns = now.duration_since(prev).as_nanos() as u64;
+                self.start = Some(now);
+                ns
+            }
+        }
+    }
+}
+
+/// Writes a human-readable progress line to stderr unless `--quiet`
+/// ([`set_quiet`]) is in effect. This is the uniform progress channel
+/// of the CLI and the repro binaries — stdout stays machine-parseable.
+pub fn progress_args(args: std::fmt::Arguments<'_>) {
+    if !quiet() {
+        eprintln!("{args}");
+    }
+}
+
+/// `println!`-style progress output routed through the progress sink
+/// (stderr, suppressed by `--quiet`).
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress_args(::std::format_args!($($arg)*))
+    };
+}

@@ -47,6 +47,26 @@
 
 #![warn(missing_docs)]
 
+/// Telemetry prologue of one parallel kernel: counts the call, its
+/// output rows and the worker threads the runtime will use, then opens
+/// a timing span named `kernel.<name>`. Everything is skipped (bar one
+/// atomic load) while telemetry is disabled, and nothing here touches
+/// the computation itself — results are bit-identical either way.
+macro_rules! kernel_telemetry {
+    ($name:literal, $rows:expr) => {{
+        if graphrare_telemetry::enabled() {
+            let rows = $rows;
+            graphrare_telemetry::counter(concat!("kernel.", $name, ".calls"), 1);
+            graphrare_telemetry::counter(concat!("kernel.", $name, ".rows"), rows as u64);
+            graphrare_telemetry::gauge_max(
+                "kernel.threads.max",
+                $crate::parallel::current_threads().min(rows.max(1)) as u64,
+            );
+        }
+        graphrare_telemetry::span(concat!("kernel.", $name))
+    }};
+}
+
 pub mod gradcheck;
 pub mod init;
 pub mod matrix;

@@ -224,6 +224,7 @@ impl Matrix {
             "matmul: {}x{} * {}x{} dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let _kernel = kernel_telemetry!("matmul", self.rows);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let b_cols = rhs.cols;
         parallel::par_for_each_row(&mut out.data, b_cols, |i, out_row| {
@@ -253,6 +254,7 @@ impl Matrix {
             "matmul_tn: {}x{} ^T * {}x{} dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let _kernel = kernel_telemetry!("matmul_tn", self.cols);
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let (a_cols, b_cols) = (self.cols, rhs.cols);
         parallel::par_for_each_chunk(&mut out.data, b_cols, |range, chunk| {
@@ -285,6 +287,7 @@ impl Matrix {
             "matmul_nt: {}x{} * {}x{} ^T dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let _kernel = kernel_telemetry!("matmul_nt", self.rows);
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         parallel::par_for_each_row(&mut out.data, rhs.rows, |i, out_row| {
             let a_row = self.row(i);

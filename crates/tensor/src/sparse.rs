@@ -136,6 +136,7 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
+        let _kernel = kernel_telemetry!("spmm", self.rows);
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.rows, cols);
         parallel::par_for_each_row(out.as_mut_slice(), cols, |r, out_row| {
@@ -167,6 +168,7 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
+        let _kernel = kernel_telemetry!("spmm_t", self.cols);
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.cols, cols);
         parallel::par_for_each_chunk(out.as_mut_slice(), cols, |range, chunk| {
@@ -193,6 +195,7 @@ impl CsrMatrix {
     /// thread, so results match serial execution exactly.
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv: dimension mismatch");
+        let _kernel = kernel_telemetry!("spmv", self.rows);
         parallel::par_map(self.rows, |r| self.row_entries_inner(r).map(|(c, w)| w * v[c]).sum())
     }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints as errors, and the whole test suite.
-# CI and pre-push runs should both go through this script.
+# Full local gate: formatting, lints as errors, the whole test suite, and
+# a telemetry smoke of the CLI. CI and pre-push runs should both go
+# through this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> telemetry suite"
+cargo test -q -p graphrare-telemetry
+cargo test -q -p graphrare --test telemetry
+
+echo "==> CLI telemetry smoke (--telemetry-out JSONL must validate)"
+cargo build -q --release -p graphrare --bin graphrare
+cargo build -q --release -p graphrare-bench --bin telemetry_lint
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+target/release/telemetry_lint --make-fixture "$smoke_dir/toy"
+target/release/graphrare \
+    --input "$smoke_dir/toy" \
+    --steps 6 --seed 1 --quiet \
+    --telemetry-out "$smoke_dir/events.jsonl"
+target/release/telemetry_lint "$smoke_dir/events.jsonl"
 
 echo "All checks passed."
