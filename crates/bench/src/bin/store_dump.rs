@@ -1,0 +1,66 @@
+//! `store_dump` — inspects a `graphrare-store` container file.
+//!
+//! ```text
+//! store_dump FILE.grrs
+//! ```
+//!
+//! Prints the container header (format version, total size) and one row
+//! per named section: name, section kind, payload length. Sections of
+//! kind `Scalars` and `U64Vec` are small by construction, so their
+//! values are printed inline — `store_dump` on a checkpoint therefore
+//! shows the step counter and the tracked metrics without any other
+//! tooling. Exits non-zero (with the typed error message) on anything
+//! `Container::read` rejects: bad magic, unsupported version, CRC
+//! mismatch, truncation.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use graphrare_store::{Container, SectionKind, FORMAT_VERSION};
+
+fn dump(path: &Path) -> Result<(), String> {
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let c = Container::read(path).map_err(|e| e.to_string())?;
+    println!("{}: format v{FORMAT_VERSION}, {size} bytes", path.display());
+    let width = c.sections().map(|(name, _, _)| name.len()).max().unwrap_or(4).max(4);
+    println!("{:<width$}  {:<10}  {:>10}", "name", "kind", "bytes");
+    for (name, kind, len) in c.sections() {
+        println!("{name:<width$}  {:<10}  {len:>10}", kind.name());
+    }
+    // Inline small metadata so a checkpoint is self-describing.
+    let named: Vec<(String, SectionKind)> =
+        c.sections().map(|(name, kind, _)| (name.to_string(), kind)).collect();
+    for (name, kind) in named {
+        match kind {
+            SectionKind::Scalars => {
+                let pairs = c.scalars(&name).map_err(|e| e.to_string())?;
+                for (key, value) in pairs {
+                    println!("  {name}/{key} = {value}");
+                }
+            }
+            SectionKind::U64Vec => {
+                let values = c.u64_vec(&name).map_err(|e| e.to_string())?;
+                if values.len() <= 16 {
+                    println!("  {name} = {values:?}");
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = argv.as_slice() else {
+        eprintln!("usage: store_dump FILE.grrs");
+        return ExitCode::from(2);
+    };
+    match dump(Path::new(path)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

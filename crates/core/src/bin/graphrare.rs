@@ -10,12 +10,24 @@
 //!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
 //!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
 //!           [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]
+//!           [--checkpoint-every N --checkpoint-dir DIR] [--resume]
+//!           [--save-model PATH | --load-model PATH]
 //! ```
 //!
 //! `--threads 0` (the default) resolves the worker count from
 //! `GRAPHRARE_THREADS`, falling back to the machine's available
 //! parallelism; `--threads 1` forces serial execution. Results are
 //! bit-identical either way.
+//!
+//! Checkpointing: `--checkpoint-every N` writes a `step-NNNNNN.grrs`
+//! container into `--checkpoint-dir` after every `N` DRL steps (atomic
+//! temp-then-rename writes — a kill mid-write never corrupts an earlier
+//! checkpoint). `--resume` picks up the highest-step checkpoint in the
+//! directory and continues; a resumed run produces output bit-identical
+//! to an uninterrupted one. `--save-model` persists the trained model
+//! (best-validation parameters + optimised topology) as one artifact
+//! file; `--load-model` skips training and re-evaluates such an
+//! artifact on the input graph's split.
 //!
 //! Observability: progress lines go to **stderr** (suppressed by
 //! `--quiet`); the machine-parseable result summary goes to stdout.
@@ -25,13 +37,14 @@
 //! environment. Telemetry is observational only — enabling it never
 //! changes a numeric result.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use graphrare::{run, GraphRareConfig, RlAlgo};
-use graphrare_datasets::stratified_split;
-use graphrare_gnn::Backbone;
-use graphrare_graph::{io, metrics};
+use graphrare::{persist, GraphRareConfig, RareDriver, RareReport, RlAlgo};
+use graphrare_datasets::{stratified_split, Split};
+use graphrare_gnn::{build_model, evaluate, Backbone, GraphTensors, Trainer};
+use graphrare_graph::{io, metrics, Graph};
+use graphrare_store::write_atomic;
 use graphrare_telemetry::{self as telemetry, progress};
 
 struct Args {
@@ -48,6 +61,11 @@ struct Args {
     quiet: bool,
     telemetry: bool,
     telemetry_out: Option<PathBuf>,
+    checkpoint_every: usize,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    save_model: Option<PathBuf>,
+    load_model: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -55,7 +73,9 @@ fn usage() -> ! {
         "usage: graphrare --input <prefix> [--output <prefix>] \
          [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
          [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c] \
-         [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]"
+         [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH] \
+         [--checkpoint-every N --checkpoint-dir DIR] [--resume] \
+         [--save-model PATH | --load-model PATH]"
     );
     std::process::exit(2);
 }
@@ -75,6 +95,11 @@ fn parse_args() -> Args {
         quiet: false,
         telemetry: false,
         telemetry_out: None,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+        resume: false,
+        save_model: None,
+        load_model: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -111,6 +136,13 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--telemetry" => args.telemetry = true,
             "--telemetry-out" => args.telemetry_out = Some(PathBuf::from(value(&mut i))),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value(&mut i))),
+            "--resume" => args.resume = true,
+            "--save-model" => args.save_model = Some(PathBuf::from(value(&mut i))),
+            "--load-model" => args.load_model = Some(PathBuf::from(value(&mut i))),
             "--algo" => {
                 args.algo = match value(&mut i).to_lowercase().as_str() {
                     "ppo" => RlAlgo::Ppo,
@@ -132,7 +164,117 @@ fn parse_args() -> Args {
     if !have_input {
         usage();
     }
+    if (args.checkpoint_every > 0 || args.resume) && args.checkpoint_dir.is_none() {
+        eprintln!("--checkpoint-every and --resume require --checkpoint-dir");
+        usage();
+    }
+    if args.load_model.is_some() && args.save_model.is_some() {
+        eprintln!("--load-model and --save-model are mutually exclusive");
+        usage();
+    }
     args
+}
+
+/// Checkpoint file name for one step count.
+fn checkpoint_name(step: usize) -> String {
+    format!("step-{step:06}.grrs")
+}
+
+/// Finds the highest-step `step-NNNNNN.grrs` in `dir`, if any.
+fn latest_checkpoint(dir: &Path) -> Option<(usize, PathBuf)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<(usize, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let step: usize = match name.strip_prefix("step-").and_then(|s| s.strip_suffix(".grrs")) {
+            Some(digits) => match digits.parse() {
+                Ok(s) => s,
+                Err(_) => continue,
+            },
+            None => continue,
+        };
+        match best {
+            Some((b, _)) if step <= b => {}
+            _ => best = Some((step, entry.path())),
+        }
+    }
+    best
+}
+
+/// Evaluates a saved model artifact on the input graph without training.
+fn eval_saved_model(path: &Path, graph: &Graph, split: &Split) -> Result<(), String> {
+    let artifact = persist::load_model(path).map_err(|e| e.to_string())?;
+    let backbone = match artifact.backbone.to_lowercase().as_str() {
+        "mlp" => Backbone::Mlp,
+        "gcn" => Backbone::Gcn,
+        "graphsage" | "sage" => Backbone::Sage,
+        "gat" => Backbone::Gat,
+        "h2gcn" => Backbone::H2gcn,
+        other => return Err(format!("artifact names unknown backbone {other:?}")),
+    };
+    let opt_graph = artifact.topology.to_graph(graph).map_err(|e| e.to_string())?;
+    let cfg = GraphRareConfig::default();
+    let model = build_model(backbone, graph.feat_dim(), graph.num_classes(), &cfg.model);
+    let trainer = Trainer::new(model.as_ref(), &cfg.train);
+    persist::apply_model_params(&trainer, &artifact.params).map_err(|e| e.to_string())?;
+
+    let gt = GraphTensors::new(&opt_graph);
+    let test = evaluate(model.as_ref(), &gt, graph.labels(), &split.test);
+    let val = evaluate(model.as_ref(), &gt, graph.labels(), &split.val);
+    progress!(
+        "loaded {} model from {} (saved test acc {:.2}%)",
+        artifact.backbone,
+        path.display(),
+        100.0 * artifact.test_acc
+    );
+    println!("test accuracy (saved model):                {:.2}%", 100.0 * test.accuracy);
+    println!("validation accuracy (saved model):          {:.2}%", 100.0 * val.accuracy);
+    println!(
+        "homophily ratio:                            {:.3} -> {:.3}",
+        metrics::homophily_ratio(graph),
+        metrics::homophily_ratio(&opt_graph)
+    );
+    println!(
+        "edges:                                      {} -> {}",
+        graph.num_edges(),
+        opt_graph.num_edges()
+    );
+    Ok(())
+}
+
+/// Runs the DRL loop stepwise, checkpointing every `every` steps, and
+/// returns the final report. `resume` starts from the newest checkpoint
+/// in `dir` when one exists.
+fn run_checkpointed(
+    graph: &Graph,
+    split: &Split,
+    args: &Args,
+    cfg: &GraphRareConfig,
+    dir: &Path,
+) -> Result<RareReport, String> {
+    let mut driver = match (args.resume, latest_checkpoint(dir)) {
+        (true, Some((step, path))) => {
+            progress!("resuming from {} (step {step})", path.display());
+            persist::resume_driver(&path, graph, split, args.backbone, cfg)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?
+        }
+        (true, None) => {
+            progress!("no checkpoint found in {}, starting fresh", dir.display());
+            RareDriver::new(graph, split, args.backbone, cfg)
+        }
+        (false, _) => RareDriver::new(graph, split, args.backbone, cfg),
+    };
+    while driver.step() {
+        let done = driver.step_index();
+        if args.checkpoint_every > 0 && done % args.checkpoint_every == 0 {
+            let path = dir.join(checkpoint_name(done));
+            let bytes = persist::save_checkpoint(&path, &driver)
+                .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+            progress!("checkpoint written: {} ({bytes} bytes)", path.display());
+        }
+    }
+    Ok(driver.finish())
 }
 
 fn main() -> ExitCode {
@@ -176,6 +318,17 @@ fn main() -> ExitCode {
     );
 
     let split = stratified_split(graph.labels(), graph.num_classes(), args.split_seed);
+
+    if let Some(model_path) = &args.load_model {
+        return match eval_saved_model(model_path, &graph, &split) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("failed to evaluate {}: {e}", model_path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut cfg = GraphRareConfig::default().with_seed(args.seed);
     cfg.entropy.lambda = args.lambda;
     cfg.steps = args.steps;
@@ -191,7 +344,16 @@ fn main() -> ExitCode {
         args.lambda,
         args.k_cap
     );
-    let report = run(&graph, &split, args.backbone, &cfg);
+    let report = match &args.checkpoint_dir {
+        Some(dir) => match run_checkpointed(&graph, &split, &args, &cfg, dir) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => graphrare::run(&graph, &split, args.backbone, &cfg),
+    };
 
     if let Some(summary) = &report.telemetry {
         if !telemetry::quiet() {
@@ -211,8 +373,25 @@ fn main() -> ExitCode {
         report.optimized_graph.num_edges()
     );
 
+    if let Some(model_path) = &args.save_model {
+        match persist::save_model(model_path, &report) {
+            Ok(bytes) => {
+                progress!("model artifact written to {} ({bytes} bytes)", model_path.display())
+            }
+            Err(e) => {
+                eprintln!("failed to write model {}: {e}", model_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(out) = args.output {
-        if let Err(e) = io::write_graph(&report.optimized_graph, &out) {
+        // Route the bundle through the store's atomic temp+rename writer
+        // so a kill mid-write cannot leave a torn half-bundle behind.
+        let result = io::write_graph_via(&report.optimized_graph, &out, &mut |path, bytes| {
+            write_atomic(path, bytes).map(|_| ()).map_err(std::io::Error::other)
+        });
+        if let Err(e) = result {
             eprintln!("failed to write {}: {e}", out.display());
             return ExitCode::FAILURE;
         }

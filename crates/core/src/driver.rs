@@ -1,4 +1,11 @@
 //! Algorithm 1: joint end-to-end training of the GNN and the DRL module.
+//!
+//! The loop is exposed at two granularities: [`run`] /
+//! [`run_with_sequences`] execute Algorithm 1 end to end, while
+//! [`RareDriver`] runs it one outer DRL step at a time so callers can
+//! checkpoint between steps ([`RareDriver::snapshot`] /
+//! [`RareDriver::restore`]) and resume a killed run with bit-identical
+//! results.
 
 use graphrare_datasets::Split;
 use graphrare_entropy::{EntropySequences, RelativeEntropyTable};
@@ -6,9 +13,13 @@ use graphrare_gnn::metrics::macro_auc;
 use graphrare_gnn::{build_model, evaluate, Backbone, GnnModel, GraphTensors, Trainer};
 use graphrare_graph::{metrics, Graph};
 use graphrare_rl::{
-    A2cAgent, A2cConfig, GlobalPolicy, PpoAgent, PpoStats, RolloutBuffer, SharedPolicy, ValueNet,
+    A2cAgent, A2cConfig, AgentState, GlobalPolicy, PpoAgent, PpoStats, RolloutBuffer, SharedPolicy,
+    ValueNet,
 };
 use graphrare_telemetry as telemetry;
+use graphrare_tensor::Matrix;
+
+use graphrare_gnn::TrainerState;
 
 use crate::config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
 use crate::reward::{PerfSnapshot, RewardKind};
@@ -47,6 +58,9 @@ pub struct RareReport {
     pub traces: RunTraces,
     /// The optimised graph itself.
     pub optimized_graph: Graph,
+    /// Model parameters at the best-validation checkpoint, in
+    /// `model.params()` order (what `--save-model` persists).
+    pub model_params: Vec<Matrix>,
     /// Run-scoped telemetry aggregate (spans, counters, histograms)
     /// when the global registry was enabled for the run, else `None`.
     /// Strictly observational: every other field is bit-identical
@@ -133,11 +147,29 @@ impl AgentBox {
             }
         }
     }
+
+    fn export_state(&self) -> AgentState {
+        match self {
+            AgentBox::PpoGlobal(a) => a.export_state(),
+            AgentBox::PpoShared(a) => a.export_state(),
+            AgentBox::A2cGlobal(a) => a.export_state(),
+            AgentBox::A2cShared(a) => a.export_state(),
+        }
+    }
+
+    fn import_state(&mut self, state: &AgentState) {
+        match self {
+            AgentBox::PpoGlobal(a) => a.import_state(state),
+            AgentBox::PpoShared(a) => a.import_state(state),
+            AgentBox::A2cGlobal(a) => a.import_state(state),
+            AgentBox::A2cShared(a) => a.import_state(state),
+        }
+    }
 }
 
 /// Training-set performance snapshot (accuracy, loss and — if the reward
 /// needs it — macro AUC).
-fn snapshot(
+fn perf_snapshot(
     model: &dyn GnnModel,
     gt: &GraphTensors,
     labels: &[usize],
@@ -150,157 +182,344 @@ fn snapshot(
     PerfSnapshot { accuracy: eval.accuracy, loss: eval.loss, auc }
 }
 
-/// Runs the full GraphRARE framework (Algorithm 1) on one data split,
-/// wrapping `backbone`, and reports test accuracy at the best-validation
-/// checkpoint together with the optimised topology.
-pub fn run(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConfig) -> RareReport {
-    // Apply the thread knob before the first kernel call; 0 keeps the
-    // env-var/auto resolution (see `graphrare_tensor::parallel`).
-    graphrare_tensor::parallel::set_threads(cfg.threads);
-    // The run-scoped baseline is taken before the entropy precompute so
-    // the report's telemetry aggregate covers the whole of Algorithm 1.
-    let baseline = telemetry::enabled().then(telemetry::snapshot);
-    // Lines 1–6: relative entropy and sequences, computed once.
-    let table = RelativeEntropyTable::new(graph, &cfg.entropy);
-    let seqs = EntropySequences::build(graph, &table, &cfg.sequences);
-    let seqs = match cfg.sequence_mode {
-        SequenceMode::Entropy => seqs,
-        SequenceMode::Shuffled { seed } => seqs.shuffled(seed),
-    };
-    run_inner(graph, seqs, split, backbone, cfg, baseline)
+/// Every mutable piece of the Algorithm-1 loop, captured as plain data
+/// between two outer steps.
+///
+/// A snapshot restored into a driver built over the same graph, split
+/// and config ([`RareDriver::new_for_resume`]) continues the run with
+/// bit-identical results — floats are carried verbatim and both RNG
+/// streams resume mid-sequence. Produced by [`RareDriver::snapshot`],
+/// consumed by [`RareDriver::restore`]; the `graphrare::persist` module
+/// maps it onto a `graphrare-store` container.
+#[derive(Clone, Debug)]
+pub struct DriverSnapshot {
+    /// Completed outer DRL steps.
+    pub step: u64,
+    /// GNN trainer: parameters, Adam moments, dropout RNG.
+    pub trainer: TrainerState,
+    /// DRL agent: policy/value parameters, Adam moments, sampling RNG.
+    pub agent: AgentState,
+    /// `TopoState` counters `k_v`.
+    pub topo_k: Vec<u16>,
+    /// `TopoState` counters `d_v`.
+    pub topo_d: Vec<u16>,
+    /// Per-node `k` bounds (validated against the rebuilt optimiser).
+    pub topo_k_max: Vec<u16>,
+    /// Per-node `d` bounds (validated against the rebuilt optimiser).
+    pub topo_d_max: Vec<u16>,
+    /// Previous-step performance snapshot (reward baseline).
+    pub prev: PerfSnapshot,
+    /// Best training accuracy seen (fine-tune trigger, line 11).
+    pub max_acc: f64,
+    /// Best validation accuracy seen.
+    pub best_val: f64,
+    /// Parameter snapshot at the end of warm-up.
+    pub warm_params: Vec<Matrix>,
+    /// Parameter snapshot at the best-validation step.
+    pub best_params: Vec<Matrix>,
+    /// Edge list of the best-validation graph.
+    pub best_graph_edges: Vec<(u32, u32)>,
+    /// In-flight rollout transitions (between agent updates).
+    pub buffer: RolloutBuffer,
+    /// Per-step traces accumulated so far.
+    pub traces: RunTraces,
+    /// Reward accumulated in the current update window.
+    pub window_reward: f32,
+    /// Steps accumulated in the current update window.
+    pub window_steps: u64,
 }
 
-/// [`run`] with externally supplied sequences (used by ablations that
-/// manipulate the rankings).
-pub fn run_with_sequences(
-    graph: &Graph,
-    sequences: EntropySequences,
-    split: &Split,
-    backbone: Backbone,
-    cfg: &GraphRareConfig,
-) -> RareReport {
-    let baseline = telemetry::enabled().then(telemetry::snapshot);
-    run_inner(graph, sequences, split, backbone, cfg, baseline)
-}
-
-/// Algorithm 1 proper, shared by [`run`] and [`run_with_sequences`];
-/// `baseline` is the registry snapshot the run-scoped telemetry
-/// aggregate is measured against.
-fn run_inner(
-    graph: &Graph,
-    sequences: EntropySequences,
-    split: &Split,
-    backbone: Backbone,
-    cfg: &GraphRareConfig,
+/// Stepwise executor of Algorithm 1.
+///
+/// ```text
+/// let mut d = RareDriver::new(&graph, &split, backbone, &cfg);
+/// while d.step() { /* checkpoint here if desired */ }
+/// let report = d.finish();
+/// ```
+///
+/// [`run`] is the one-shot equivalent. The driver exists so callers can
+/// interleave the loop with checkpointing: [`snapshot`] captures the
+/// complete mutable state between steps, [`restore`] puts it back, and
+/// a run killed at step `t` and resumed produces a final [`RareReport`]
+/// bit-identical to an uninterrupted one.
+///
+/// [`snapshot`]: RareDriver::snapshot
+/// [`restore`]: RareDriver::restore
+pub struct RareDriver {
+    cfg: GraphRareConfig,
+    split: Split,
+    labels: Vec<usize>,
+    num_classes: usize,
+    want_auc: bool,
+    topo: TopologyOptimizer,
+    model: Box<dyn GnnModel>,
+    trainer: Trainer,
+    agent: AgentBox,
+    base_edges: usize,
+    warm_params: Vec<Matrix>,
+    state: TopoState,
+    prev: PerfSnapshot,
+    max_acc: f64,
+    best_val: f64,
+    best_params: Vec<Matrix>,
+    best_graph: Graph,
+    buffer: RolloutBuffer,
+    traces: RunTraces,
+    window_reward: f32,
+    window_steps: usize,
+    step: usize,
     baseline: Option<telemetry::Summary>,
-) -> RareReport {
-    graphrare_tensor::parallel::set_threads(cfg.threads);
-    let run_clock = telemetry::Stopwatch::start();
-    let run_span = telemetry::span("driver.run");
-    let labels = graph.labels().to_vec();
-    let num_classes = graph.num_classes();
-    let want_auc = matches!(cfg.reward, RewardKind::Auc);
+    run_clock: telemetry::Stopwatch,
+    run_span: Option<telemetry::SpanGuard>,
+}
 
-    let topo = TopologyOptimizer::new(graph.clone(), sequences, cfg.edit_mode);
-    let mut state = TopoState::new(topo.k_bounds(cfg.k_cap), topo.d_bounds(cfg.k_cap));
+impl RareDriver {
+    /// Builds a driver over one data split: precomputes the entropy
+    /// sequences (lines 1–6) and warm-trains the backbone on the
+    /// original graph, leaving the loop ready at step 0.
+    pub fn new(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConfig) -> Self {
+        // Apply the thread knob before the first kernel call; 0 keeps the
+        // env-var/auto resolution (see `graphrare_tensor::parallel`).
+        graphrare_tensor::parallel::set_threads(cfg.threads);
+        // The run-scoped baseline is taken before the entropy precompute so
+        // the report's telemetry aggregate covers the whole of Algorithm 1.
+        let baseline = telemetry::enabled().then(telemetry::snapshot);
+        let sequences = Self::sequences_for(graph, cfg);
+        Self::build(graph, sequences, split, backbone, cfg, baseline, false)
+    }
 
-    let model = build_model(backbone, graph.feat_dim(), num_classes, &cfg.model);
-    let mut trainer = Trainer::new(model.as_ref(), &cfg.train);
+    /// [`RareDriver::new`] with externally supplied sequences (ablations).
+    pub fn with_sequences(
+        graph: &Graph,
+        sequences: EntropySequences,
+        split: &Split,
+        backbone: Backbone,
+        cfg: &GraphRareConfig,
+    ) -> Self {
+        let baseline = telemetry::enabled().then(telemetry::snapshot);
+        Self::build(graph, sequences, split, backbone, cfg, baseline, false)
+    }
 
-    telemetry::emit_with(|| {
-        telemetry::Event::new("run_start")
-            .str("backbone", model.name())
-            .u64("nodes", graph.num_nodes() as u64)
-            .u64("edges", graph.num_edges() as u64)
-            .f64("homophily", metrics::homophily_ratio(graph))
-            .u64("steps", cfg.steps as u64)
-            .u64("threads", graphrare_tensor::parallel::current_threads() as u64)
-    });
+    /// Builds a driver destined for [`RareDriver::restore`]: identical to
+    /// [`RareDriver::new`] except the warm-up phase and its evaluations
+    /// are skipped, since the restored snapshot overwrites everything the
+    /// warm-up produced. Using the driver without restoring is incorrect.
+    pub fn new_for_resume(
+        graph: &Graph,
+        split: &Split,
+        backbone: Backbone,
+        cfg: &GraphRareConfig,
+    ) -> Self {
+        graphrare_tensor::parallel::set_threads(cfg.threads);
+        let baseline = telemetry::enabled().then(telemetry::snapshot);
+        let sequences = Self::sequences_for(graph, cfg);
+        Self::build(graph, sequences, split, backbone, cfg, baseline, true)
+    }
 
-    // Warm-up on the original graph so the reward signal and the RL
-    // loop's validation comparisons reflect a (near-)converged model.
-    // Early-stopped with best-validation restore, like a plain fit.
-    let gt0 = GraphTensors::new(topo.base());
-    {
-        let mut warm_best = f64::NEG_INFINITY;
-        let mut warm_snap = trainer.snapshot();
-        let mut since = 0usize;
-        for _ in 0..cfg.warmup_epochs {
-            trainer.train_epoch(model.as_ref(), &gt0, &labels, &split.train);
-            let val = evaluate(model.as_ref(), &gt0, &labels, &split.val);
-            if val.accuracy > warm_best {
-                warm_best = val.accuracy;
-                warm_snap = trainer.snapshot();
-                since = 0;
-            } else {
-                since += 1;
-                if since >= cfg.train.patience {
-                    telemetry::emit_with(|| {
-                        telemetry::Event::new("early_stop")
-                            .str("phase", "warmup")
-                            .f64("best_val_acc", warm_best)
-                    });
-                    break;
+    /// Lines 1–6: relative entropy and sequences, computed once. Fully
+    /// deterministic in (graph, cfg), which is what lets a resumed run
+    /// recompute them instead of storing them.
+    fn sequences_for(graph: &Graph, cfg: &GraphRareConfig) -> EntropySequences {
+        let table = RelativeEntropyTable::new(graph, &cfg.entropy);
+        let seqs = EntropySequences::build(graph, &table, &cfg.sequences);
+        match cfg.sequence_mode {
+            SequenceMode::Entropy => seqs,
+            SequenceMode::Shuffled { seed } => seqs.shuffled(seed),
+        }
+    }
+
+    fn build(
+        graph: &Graph,
+        sequences: EntropySequences,
+        split: &Split,
+        backbone: Backbone,
+        cfg: &GraphRareConfig,
+        baseline: Option<telemetry::Summary>,
+        skip_warmup: bool,
+    ) -> Self {
+        graphrare_tensor::parallel::set_threads(cfg.threads);
+        let run_clock = telemetry::Stopwatch::start();
+        let run_span = telemetry::span("driver.run");
+        let labels = graph.labels().to_vec();
+        let num_classes = graph.num_classes();
+        let want_auc = matches!(cfg.reward, RewardKind::Auc);
+
+        let topo = TopologyOptimizer::new(graph.clone(), sequences, cfg.edit_mode);
+        let state = TopoState::new(topo.k_bounds(cfg.k_cap), topo.d_bounds(cfg.k_cap));
+
+        let model = build_model(backbone, graph.feat_dim(), num_classes, &cfg.model);
+        let mut trainer = Trainer::new(model.as_ref(), &cfg.train);
+
+        telemetry::emit_with(|| {
+            telemetry::Event::new("run_start")
+                .str("backbone", model.name())
+                .u64("nodes", graph.num_nodes() as u64)
+                .u64("edges", graph.num_edges() as u64)
+                .f64("homophily", metrics::homophily_ratio(graph))
+                .u64("steps", cfg.steps as u64)
+                .u64("threads", graphrare_tensor::parallel::current_threads() as u64)
+        });
+
+        let gt0 = GraphTensors::new(topo.base());
+        if !skip_warmup {
+            // Warm-up on the original graph so the reward signal and the RL
+            // loop's validation comparisons reflect a (near-)converged model.
+            // Early-stopped with best-validation restore, like a plain fit.
+            let mut warm_best = f64::NEG_INFINITY;
+            let mut warm_snap = trainer.snapshot();
+            let mut since = 0usize;
+            for _ in 0..cfg.warmup_epochs {
+                trainer.train_epoch(model.as_ref(), &gt0, &labels, &split.train);
+                let val = evaluate(model.as_ref(), &gt0, &labels, &split.val);
+                if val.accuracy > warm_best {
+                    warm_best = val.accuracy;
+                    warm_snap = trainer.snapshot();
+                    since = 0;
+                } else {
+                    since += 1;
+                    if since >= cfg.train.patience {
+                        telemetry::emit_with(|| {
+                            telemetry::Event::new("early_stop")
+                                .str("phase", "warmup")
+                                .f64("best_val_acc", warm_best)
+                        });
+                        break;
+                    }
                 }
             }
+            trainer.restore(&warm_snap);
         }
-        trainer.restore(&warm_snap);
+        let warm_params = trainer.snapshot();
+
+        let agent = AgentBox::new(cfg.policy, graph.num_nodes(), cfg);
+
+        // On the resume path these are placeholders: `restore` overwrites
+        // every one of them, so the (expensive) evaluations are skipped.
+        let (prev, best_val) = if skip_warmup {
+            (PerfSnapshot { accuracy: 0.0, loss: 0.0, auc: 0.5 }, 0.0)
+        } else {
+            let prev =
+                perf_snapshot(model.as_ref(), &gt0, &labels, &split.train, num_classes, want_auc);
+            let val0 = evaluate(model.as_ref(), &gt0, &labels, &split.val);
+            (prev, val0.accuracy)
+        };
+        let max_acc = prev.accuracy;
+        let best_params = trainer.snapshot();
+        let best_graph = topo.base().clone();
+        let base_edges = topo.base().num_edges();
+
+        Self {
+            cfg: *cfg,
+            split: split.clone(),
+            labels,
+            num_classes,
+            want_auc,
+            topo,
+            model,
+            trainer,
+            agent,
+            base_edges,
+            warm_params,
+            state,
+            prev,
+            max_acc,
+            best_val,
+            best_params,
+            best_graph,
+            buffer: RolloutBuffer::new(),
+            traces: RunTraces::default(),
+            window_reward: 0.0,
+            window_steps: 0,
+            step: 0,
+            baseline,
+            run_clock,
+            run_span: Some(run_span),
+        }
     }
-    let warm_params = trainer.snapshot();
 
-    let mut agent = AgentBox::new(cfg.policy, graph.num_nodes(), cfg);
+    /// Completed outer DRL steps.
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
 
-    let mut prev = snapshot(model.as_ref(), &gt0, &labels, &split.train, num_classes, want_auc);
-    let mut max_acc = prev.accuracy;
+    /// Whether the configured number of DRL steps has been run.
+    pub fn is_done(&self) -> bool {
+        self.step >= self.cfg.steps
+    }
 
-    let val0 = evaluate(model.as_ref(), &gt0, &labels, &split.val);
-    let mut best_val = val0.accuracy;
-    let mut best_params = trainer.snapshot();
-    let mut best_graph = topo.base().clone();
+    /// The configuration the driver was built with.
+    pub fn config(&self) -> &GraphRareConfig {
+        &self.cfg
+    }
 
-    let mut buffer = RolloutBuffer::new();
-    let mut traces = RunTraces::default();
-    let mut window_reward = 0f32;
-    let mut window_steps = 0usize;
+    /// Number of classes of the underlying dataset.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
 
-    let base_edges = topo.base().num_edges();
-    for t in 0..cfg.steps {
+    /// Runs one outer DRL step (Algorithm 1 lines 8–16). Returns `false`
+    /// without doing anything once all configured steps have run.
+    pub fn step(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let t = self.step;
         let iter_clock = telemetry::Stopwatch::start();
         let _iter_span = telemetry::span("driver.iter");
         // DRL step: act on S_t, transition to S_{t+1} (Eq. 10), rebuild G.
-        let features = state.features();
-        let (actions, logp, value) = agent.act(&features);
-        state.apply(&actions);
-        let g_t = topo.materialize(&state);
+        let features = self.state.features();
+        let (actions, logp, value) = self.agent.act(&features);
+        self.state.apply(&actions);
+        let g_t = self.topo.materialize(&self.state);
         let gt = GraphTensors::new(&g_t);
 
         // Lines 9–13: evaluate; fine-tune on improvement.
-        let cur = snapshot(model.as_ref(), &gt, &labels, &split.train, num_classes, want_auc);
-        let finetuned = cur.accuracy > max_acc;
+        let cur = perf_snapshot(
+            self.model.as_ref(),
+            &gt,
+            &self.labels,
+            &self.split.train,
+            self.num_classes,
+            self.want_auc,
+        );
+        let finetuned = cur.accuracy > self.max_acc;
         if finetuned {
-            max_acc = cur.accuracy;
-            trainer.train_epochs(model.as_ref(), &gt, &labels, &split.train, cfg.finetune_epochs);
+            self.max_acc = cur.accuracy;
+            self.trainer.train_epochs(
+                self.model.as_ref(),
+                &gt,
+                &self.labels,
+                &self.split.train,
+                self.cfg.finetune_epochs,
+            );
         }
 
         // Lines 14–16: reward and transition bookkeeping.
-        let reward = cfg.reward.compute(&prev, &cur);
-        prev = cur;
-        window_reward += reward;
-        window_steps += 1;
-        let window_end = window_steps == cfg.update_every;
-        buffer.push(features, actions, logp, value, reward, window_end && cfg.reset_each_episode);
+        let reward = self.cfg.reward.compute(&self.prev, &cur);
+        self.prev = cur;
+        self.window_reward += reward;
+        self.window_steps += 1;
+        let window_end = self.window_steps == self.cfg.update_every;
+        self.buffer.push(
+            features,
+            actions,
+            logp,
+            value,
+            reward,
+            window_end && self.cfg.reset_each_episode,
+        );
 
         // Traces + best-checkpoint tracking.
-        let val_eval = evaluate(model.as_ref(), &gt, &labels, &split.val);
+        let val_eval = evaluate(self.model.as_ref(), &gt, &self.labels, &self.split.val);
         let hom = metrics::homophily_ratio(&g_t);
         let g_t_edges = g_t.num_edges();
-        traces.train_acc.push(prev.accuracy);
-        traces.val_acc.push(val_eval.accuracy);
-        traces.homophily.push(hom);
-        if val_eval.accuracy > best_val {
-            best_val = val_eval.accuracy;
-            best_params = trainer.snapshot();
-            best_graph = g_t;
+        self.traces.train_acc.push(self.prev.accuracy);
+        self.traces.val_acc.push(val_eval.accuracy);
+        self.traces.homophily.push(hom);
+        if val_eval.accuracy > self.best_val {
+            self.best_val = val_eval.accuracy;
+            self.best_params = self.trainer.snapshot();
+            self.best_graph = g_t;
         }
 
         // One structured event per outer iteration. Emitted before the
@@ -309,6 +528,7 @@ fn run_inner(
         // it never steers.
         telemetry::counter("driver.iters", 1);
         telemetry::emit_with(|| {
+            let state = &self.state;
             let n = state.num_nodes();
             let (mut k_max_used, mut d_max_used) = (0usize, 0usize);
             for v in 0..n {
@@ -318,12 +538,12 @@ fn run_inner(
             telemetry::Event::new("iter")
                 .u64("step", t as u64)
                 .f64("reward", reward as f64)
-                .f64("train_acc", prev.accuracy)
+                .f64("train_acc", self.prev.accuracy)
                 .f64("val_acc", val_eval.accuracy)
-                .f64("loss", prev.loss)
+                .f64("loss", self.prev.loss)
                 .f64("homophily", hom)
                 .u64("edges", g_t_edges as u64)
-                .i64("edge_delta", g_t_edges as i64 - base_edges as i64)
+                .i64("edge_delta", g_t_edges as i64 - self.base_edges as i64)
                 .u64("edges_added", state.total_k() as u64)
                 .u64("edges_deleted", state.total_d() as u64)
                 .f64("k_mean", state.total_k() as f64 / n.max(1) as f64)
@@ -335,13 +555,16 @@ fn run_inner(
         });
 
         if window_end {
-            let window_mean = window_reward / cfg.update_every.max(1) as f32;
-            traces.episode_rewards.push(window_mean);
-            window_reward = 0.0;
-            window_steps = 0;
-            let last_value =
-                if cfg.reset_each_episode { 0.0 } else { agent.value_of(&state.features()) };
-            let stats = agent.update(&buffer, last_value);
+            let window_mean = self.window_reward / self.cfg.update_every.max(1) as f32;
+            self.traces.episode_rewards.push(window_mean);
+            self.window_reward = 0.0;
+            self.window_steps = 0;
+            let last_value = if self.cfg.reset_each_episode {
+                0.0
+            } else {
+                self.agent.value_of(&self.state.features())
+            };
+            let stats = self.agent.update(&self.buffer, last_value);
             telemetry::counter("driver.ppo_updates", 1);
             telemetry::emit_with(|| {
                 telemetry::Event::new("ppo_update")
@@ -352,88 +575,281 @@ fn run_inner(
                     .f64("approx_kl", stats.approx_kl as f64)
                     .f64("window_reward", window_mean as f64)
             });
-            traces.ppo_stats.push(stats);
-            buffer.clear();
-            if cfg.reset_each_episode {
-                state.reset();
+            self.traces.ppo_stats.push(stats);
+            self.buffer.clear();
+            if self.cfg.reset_each_episode {
+                self.state.reset();
             }
         }
+
+        self.step += 1;
+        true
     }
 
-    // Final convergence phase: Algorithm 1 trains the GNN and DRL jointly
-    // until convergence, but the compressed DRL loop above only fine-tunes
-    // the GNN opportunistically (line 12 fires on accuracy improvements).
-    // To give the wrapped model the same optimisation budget as a plain
-    // backbone, training continues to convergence — on the selected
-    // topology AND, as a guard, on the original topology — and the
-    // better-validating (graph, parameters) pair wins. The guard means a
-    // mid-training mis-selection of a rewired graph can never leave the
-    // enhanced model below its own backbone at convergence.
-    let mut winner_graph = best_graph.clone();
-    let mut winner_params = best_params.clone();
-    // Each candidate resumes from the checkpoint trained on *its own*
-    // topology: the selected graph from the RL loop's best snapshot, the
-    // base graph from the warm-up snapshot (so the fallback path is the
-    // plain backbone's own trajectory).
-    let mut candidates = vec![(best_graph.clone(), best_params.clone())];
-    // The terminal topology G_T carries the most accumulated rewiring
-    // (homophily converges late, Fig. 6b); the mid-run best-val snapshot
-    // often under-rewires because it was judged with a semi-trained model.
-    let final_graph = topo.materialize(&state);
-    if final_graph.edge_vec() != best_graph.edge_vec() {
-        candidates.push((final_graph, best_params.clone()));
+    /// Runs every remaining DRL step.
+    pub fn run_to_end(&mut self) {
+        while self.step() {}
     }
-    if best_graph.edge_vec() != graph.edge_vec() {
-        candidates.push((graph.clone(), warm_params));
-    }
-    for (candidate, checkpoint) in candidates {
-        trainer.restore(&checkpoint);
-        let gt = GraphTensors::new(&candidate);
-        let mut since_best = 0usize;
-        for _ in 0..cfg.train.epochs {
-            trainer.train_epoch(model.as_ref(), &gt, &labels, &split.train);
-            let val_eval = evaluate(model.as_ref(), &gt, &labels, &split.val);
-            if val_eval.accuracy > best_val {
-                best_val = val_eval.accuracy;
-                winner_params = trainer.snapshot();
-                winner_graph = candidate.clone();
-                since_best = 0;
-            } else {
-                since_best += 1;
-                if since_best >= cfg.train.patience {
-                    break;
+
+    /// Final convergence phase + report (Algorithm 1's terminal joint
+    /// training). Call after the DRL steps; [`RareDriver::step`] tolerates
+    /// being exhausted, `finish` consumes the driver.
+    pub fn finish(mut self) -> RareReport {
+        // Algorithm 1 trains the GNN and DRL jointly until convergence, but
+        // the compressed DRL loop above only fine-tunes the GNN
+        // opportunistically (line 12 fires on accuracy improvements). To
+        // give the wrapped model the same optimisation budget as a plain
+        // backbone, training continues to convergence — on the selected
+        // topology AND, as a guard, on the original topology — and the
+        // better-validating (graph, parameters) pair wins. The guard means a
+        // mid-training mis-selection of a rewired graph can never leave the
+        // enhanced model below its own backbone at convergence.
+        let mut winner_graph = self.best_graph.clone();
+        let mut winner_params = self.best_params.clone();
+        // Each candidate resumes from the checkpoint trained on *its own*
+        // topology: the selected graph from the RL loop's best snapshot, the
+        // base graph from the warm-up snapshot (so the fallback path is the
+        // plain backbone's own trajectory).
+        let mut candidates = vec![(self.best_graph.clone(), self.best_params.clone())];
+        // The terminal topology G_T carries the most accumulated rewiring
+        // (homophily converges late, Fig. 6b); the mid-run best-val snapshot
+        // often under-rewires because it was judged with a semi-trained model.
+        let final_graph = self.topo.materialize(&self.state);
+        if final_graph.edge_vec() != self.best_graph.edge_vec() {
+            candidates.push((final_graph, self.best_params.clone()));
+        }
+        if self.best_graph.edge_vec() != self.topo.base().edge_vec() {
+            candidates.push((self.topo.base().clone(), self.warm_params.clone()));
+        }
+        for (candidate, checkpoint) in candidates {
+            self.trainer.restore(&checkpoint);
+            let gt = GraphTensors::new(&candidate);
+            let mut since_best = 0usize;
+            for _ in 0..self.cfg.train.epochs {
+                self.trainer.train_epoch(self.model.as_ref(), &gt, &self.labels, &self.split.train);
+                let val_eval = evaluate(self.model.as_ref(), &gt, &self.labels, &self.split.val);
+                if val_eval.accuracy > self.best_val {
+                    self.best_val = val_eval.accuracy;
+                    winner_params = self.trainer.snapshot();
+                    winner_graph = candidate.clone();
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= self.cfg.train.patience {
+                        break;
+                    }
                 }
             }
         }
+
+        // Test at the best-validation checkpoint (paper Sec. V-C).
+        self.trainer.restore(&winner_params);
+        let best_gt = GraphTensors::new(&winner_graph);
+        let test_eval = evaluate(self.model.as_ref(), &best_gt, &self.labels, &self.split.test);
+
+        let optimized_homophily = metrics::homophily_ratio(&winner_graph);
+        telemetry::emit_with(|| {
+            telemetry::Event::new("run_end")
+                .f64("test_acc", test_eval.accuracy)
+                .f64("best_val_acc", self.best_val)
+                .f64("optimized_homophily", optimized_homophily)
+                .u64("wall_ns", self.run_clock.ns())
+        });
+        telemetry::flush();
+        // Close the run span before the snapshot so the aggregate includes it.
+        drop(self.run_span.take());
+
+        RareReport {
+            backbone: self.model.name(),
+            test_acc: test_eval.accuracy,
+            best_val_acc: self.best_val,
+            original_homophily: metrics::homophily_ratio(self.topo.base()),
+            optimized_homophily,
+            traces: self.traces,
+            optimized_graph: winner_graph,
+            model_params: winner_params,
+            telemetry: self.baseline.map(|b| telemetry::snapshot().since(&b)),
+        }
     }
 
-    // Test at the best-validation checkpoint (paper Sec. V-C).
-    trainer.restore(&winner_params);
-    let best_gt = GraphTensors::new(&winner_graph);
-    let test_eval = evaluate(model.as_ref(), &best_gt, &labels, &split.test);
-
-    let optimized_homophily = metrics::homophily_ratio(&winner_graph);
-    telemetry::emit_with(|| {
-        telemetry::Event::new("run_end")
-            .f64("test_acc", test_eval.accuracy)
-            .f64("best_val_acc", best_val)
-            .f64("optimized_homophily", optimized_homophily)
-            .u64("wall_ns", run_clock.ns())
-    });
-    telemetry::flush();
-    // Close the run span before the snapshot so the aggregate includes it.
-    drop(run_span);
-
-    RareReport {
-        backbone: model.name(),
-        test_acc: test_eval.accuracy,
-        best_val_acc: best_val,
-        original_homophily: metrics::homophily_ratio(graph),
-        optimized_homophily,
-        traces,
-        optimized_graph: winner_graph,
-        telemetry: baseline.map(|b| telemetry::snapshot().since(&b)),
+    /// Captures every mutable piece of the loop as plain data. Call
+    /// between steps (the driver is never mid-step from the outside).
+    pub fn snapshot(&self) -> DriverSnapshot {
+        DriverSnapshot {
+            step: self.step as u64,
+            trainer: self.trainer.export_state(),
+            agent: self.agent.export_state(),
+            topo_k: self.state.k_vec().to_vec(),
+            topo_d: self.state.d_vec().to_vec(),
+            topo_k_max: self.state.k_max_vec().to_vec(),
+            topo_d_max: self.state.d_max_vec().to_vec(),
+            prev: self.prev,
+            max_acc: self.max_acc,
+            best_val: self.best_val,
+            warm_params: self.warm_params.clone(),
+            best_params: self.best_params.clone(),
+            best_graph_edges: self
+                .best_graph
+                .edge_vec()
+                .into_iter()
+                .map(|(u, v)| (u as u32, v as u32))
+                .collect(),
+            buffer: self.buffer.clone(),
+            traces: self.traces.clone(),
+            window_reward: self.window_reward,
+            window_steps: self.window_steps as u64,
+        }
     }
+
+    /// Overwrites the loop state with a snapshot taken over the same
+    /// graph, split and config. Every structural property is validated
+    /// before anything is mutated, so a failed restore leaves the driver
+    /// untouched and never panics.
+    pub fn restore(&mut self, snap: &DriverSnapshot) -> Result<(), String> {
+        if snap.step > self.cfg.steps as u64 {
+            return Err(format!(
+                "snapshot is at step {} but the config runs only {} steps",
+                snap.step, self.cfg.steps
+            ));
+        }
+        if snap.topo_k_max != self.state.k_max_vec() || snap.topo_d_max != self.state.d_max_vec() {
+            return Err(
+                "snapshot topology bounds disagree with this graph/config (different dataset, \
+                 seed, k-cap or edit mode?)"
+                    .to_string(),
+            );
+        }
+        let state = TopoState::from_raw(
+            snap.topo_k.clone(),
+            snap.topo_d.clone(),
+            snap.topo_k_max.clone(),
+            snap.topo_d_max.clone(),
+        )
+        .ok_or_else(|| "snapshot topology counters violate their bounds".to_string())?;
+
+        let cur_trainer = self.trainer.snapshot();
+        check_param_shapes("trainer parameters", &snap.trainer.params, &cur_trainer)?;
+        check_adam_shapes("trainer Adam state", &snap.trainer.adam.moments, &cur_trainer)?;
+        check_param_shapes("warm-up parameters", &snap.warm_params, &cur_trainer)?;
+        check_param_shapes("best parameters", &snap.best_params, &cur_trainer)?;
+
+        let cur_agent = self.agent.export_state();
+        check_param_shapes("agent parameters", &snap.agent.params, &cur_agent.params)?;
+        check_adam_shapes("agent Adam state", &snap.agent.adam.moments, &cur_agent.params)?;
+
+        let n = self.topo.base().num_nodes();
+        if let Some(&(u, v)) =
+            snap.best_graph_edges.iter().find(|&&(u, v)| u as usize >= n || v as usize >= n)
+        {
+            return Err(format!("snapshot best-graph edge ({u},{v}) references a node >= {n}"));
+        }
+
+        let b = &snap.buffer;
+        let len = b.rewards.len();
+        if b.states.len() != len
+            || b.actions.len() != len
+            || b.log_probs.len() != len
+            || b.values.len() != len
+            || b.dones.len() != len
+        {
+            return Err("snapshot rollout buffer columns disagree in length".to_string());
+        }
+        if b.states.iter().any(|s| s.len() != 2 * n) || b.actions.iter().any(|a| a.len() != 2 * n) {
+            return Err("snapshot rollout buffer rows disagree with the node count".to_string());
+        }
+        if self.cfg.update_every > 0 && snap.window_steps >= self.cfg.update_every as u64 {
+            return Err(format!(
+                "snapshot window progress {} is impossible with update-every {}",
+                snap.window_steps, self.cfg.update_every
+            ));
+        }
+
+        // All checks passed — mutate.
+        self.trainer.import_state(&snap.trainer);
+        self.agent.import_state(&snap.agent);
+        self.state = state;
+        self.prev = snap.prev;
+        self.max_acc = snap.max_acc;
+        self.best_val = snap.best_val;
+        self.warm_params = snap.warm_params.clone();
+        self.best_params = snap.best_params.clone();
+        let edges: Vec<(usize, usize)> =
+            snap.best_graph_edges.iter().map(|&(u, v)| (u as usize, v as usize)).collect();
+        let base = self.topo.base();
+        self.best_graph = Graph::from_edges(
+            n,
+            &edges,
+            base.features().clone(),
+            base.labels().to_vec(),
+            self.num_classes,
+        );
+        self.buffer = snap.buffer.clone();
+        self.traces = snap.traces.clone();
+        self.window_reward = snap.window_reward;
+        self.window_steps = snap.window_steps as usize;
+        self.step = snap.step as usize;
+        telemetry::emit_with(|| telemetry::Event::new("driver_restore").u64("step", snap.step));
+        Ok(())
+    }
+}
+
+fn check_param_shapes(what: &str, got: &[Matrix], expect: &[Matrix]) -> Result<(), String> {
+    if got.len() != expect.len() {
+        return Err(format!("snapshot {what}: {} tensors, model has {}", got.len(), expect.len()));
+    }
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        if g.shape() != e.shape() {
+            return Err(format!(
+                "snapshot {what}: tensor {i} is {:?}, model expects {:?}",
+                g.shape(),
+                e.shape()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_adam_shapes(
+    what: &str,
+    moments: &[(Matrix, Matrix)],
+    params: &[Matrix],
+) -> Result<(), String> {
+    if moments.len() != params.len() {
+        return Err(format!(
+            "snapshot {what}: {} moment pairs, model has {} parameters",
+            moments.len(),
+            params.len()
+        ));
+    }
+    for (i, ((m, v), p)) in moments.iter().zip(params).enumerate() {
+        if m.shape() != p.shape() || v.shape() != p.shape() {
+            return Err(format!("snapshot {what}: moment pair {i} disagrees with parameter shape"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full GraphRARE framework (Algorithm 1) on one data split,
+/// wrapping `backbone`, and reports test accuracy at the best-validation
+/// checkpoint together with the optimised topology.
+pub fn run(graph: &Graph, split: &Split, backbone: Backbone, cfg: &GraphRareConfig) -> RareReport {
+    let mut driver = RareDriver::new(graph, split, backbone, cfg);
+    driver.run_to_end();
+    driver.finish()
+}
+
+/// [`run`] with externally supplied sequences (used by ablations that
+/// manipulate the rankings).
+pub fn run_with_sequences(
+    graph: &Graph,
+    sequences: EntropySequences,
+    split: &Split,
+    backbone: Backbone,
+    cfg: &GraphRareConfig,
+) -> RareReport {
+    let mut driver = RareDriver::with_sequences(graph, sequences, split, backbone, cfg);
+    driver.run_to_end();
+    driver.finish()
 }
 
 #[cfg(test)]
@@ -458,6 +874,17 @@ mod tests {
         (g, split)
     }
 
+    fn assert_reports_identical(a: &RareReport, b: &RareReport) {
+        assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits());
+        assert_eq!(a.best_val_acc.to_bits(), b.best_val_acc.to_bits());
+        assert_eq!(a.traces.train_acc, b.traces.train_acc);
+        assert_eq!(a.traces.val_acc, b.traces.val_acc);
+        assert_eq!(a.traces.homophily, b.traces.homophily);
+        assert_eq!(a.traces.episode_rewards, b.traces.episode_rewards);
+        assert_eq!(a.optimized_graph.edge_vec(), b.optimized_graph.edge_vec());
+        assert_eq!(a.model_params, b.model_params);
+    }
+
     #[test]
     fn run_produces_complete_report() {
         let (g, split) = heterophilic_fixture();
@@ -470,6 +897,7 @@ mod tests {
         assert_eq!(report.traces.homophily.len(), cfg.steps);
         assert_eq!(report.traces.episode_rewards.len(), cfg.steps / cfg.update_every);
         assert!(report.optimized_graph.num_nodes() == g.num_nodes());
+        assert!(!report.model_params.is_empty());
     }
 
     #[test]
@@ -529,5 +957,97 @@ mod tests {
         cfg.policy = PolicyKind::Shared { hidden: 16 };
         let report = run(&g, &split, Backbone::Gcn, &cfg);
         assert!((0.0..=1.0).contains(&report.test_acc));
+    }
+
+    #[test]
+    fn stepwise_driver_matches_one_shot_run() {
+        let (g, split) = heterophilic_fixture();
+        let cfg = GraphRareConfig::fast().with_seed(11);
+        let one_shot = run(&g, &split, Backbone::Gcn, &cfg);
+        let mut driver = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        let mut steps = 0;
+        while driver.step() {
+            steps += 1;
+        }
+        assert_eq!(steps, cfg.steps);
+        assert!(driver.is_done());
+        assert!(!driver.step(), "exhausted driver must refuse further steps");
+        let stepped = driver.finish();
+        assert_reports_identical(&one_shot, &stepped);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let (g, split) = heterophilic_fixture();
+        let cfg = GraphRareConfig::fast().with_seed(13);
+
+        let uninterrupted = run(&g, &split, Backbone::Gcn, &cfg);
+
+        // Kill the run after 3 steps...
+        let mut first = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        for _ in 0..3 {
+            assert!(first.step());
+        }
+        let snap = first.snapshot();
+        assert_eq!(snap.step, 3);
+        drop(first);
+
+        // ...and resume it in a "fresh process".
+        let mut resumed = RareDriver::new_for_resume(&g, &split, Backbone::Gcn, &cfg);
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.step_index(), 3);
+        resumed.run_to_end();
+        let report = resumed.finish();
+        assert_reports_identical(&uninterrupted, &report);
+    }
+
+    #[test]
+    fn snapshot_is_passive_and_repeatable() {
+        let (g, split) = heterophilic_fixture();
+        let cfg = GraphRareConfig::fast().with_seed(17);
+        let mut driver = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        driver.step();
+        let a = driver.snapshot();
+        let b = driver.snapshot();
+        assert_eq!(a.trainer.rng, b.trainer.rng, "snapshot must not advance RNG streams");
+        assert_eq!(a.agent.rng, b.agent.rng);
+        assert_eq!(a.trainer.params, b.trainer.params);
+        // The driver still finishes normally after snapshotting.
+        driver.run_to_end();
+        let _ = driver.finish();
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshot() {
+        let (g, split) = heterophilic_fixture();
+        let cfg = GraphRareConfig::fast().with_seed(19);
+        let mut driver = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        driver.step();
+        let snap = driver.snapshot();
+
+        // Same dataset family, different size -> bounds disagree.
+        let spec = DatasetSpec {
+            name: "other",
+            num_nodes: 40,
+            num_edges: 90,
+            feat_dim: 20,
+            num_classes: 3,
+            homophily: 0.2,
+            degree_exponent: 0.4,
+            feature_signal: 0.8,
+            feature_density: 0.04,
+        };
+        let g2 = generate_spec(&spec, 5);
+        let split2 = stratified_split(g2.labels(), g2.num_classes(), 0);
+        let mut other = RareDriver::new_for_resume(&g2, &split2, Backbone::Gcn, &cfg);
+        assert!(other.restore(&snap).is_err());
+
+        // Tampered counters are rejected too.
+        let mut bad = snap.clone();
+        if let Some(first_bound) = bad.topo_k_max.first().copied() {
+            bad.topo_k[0] = first_bound + 1;
+        }
+        let mut same = RareDriver::new_for_resume(&g, &split, Backbone::Gcn, &cfg);
+        assert!(same.restore(&bad).is_err());
     }
 }

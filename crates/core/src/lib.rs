@@ -14,7 +14,10 @@
 //! * [`topology`] — the topology optimisation module (Fig. 4).
 //! * [`reward`] — Eq. 11 and the AUC-reward ablation.
 //! * [`config`] — all knobs of a run.
-//! * [`driver`] — Algorithm 1 end-to-end ([`run`]).
+//! * [`driver`] — Algorithm 1 end-to-end ([`run`]) and stepwise
+//!   ([`RareDriver`], for checkpoint/resume).
+//! * [`persist`] — checkpoint and model-artifact files (`graphrare-store`
+//!   containers); a killed run resumes bit-identically.
 //! * [`variants`] — DRL-free ablations (fixed/random `k`, `d`).
 //!
 //! ```no_run
@@ -36,13 +39,17 @@
 
 pub mod config;
 pub mod driver;
+pub mod persist;
 pub mod reward;
 pub mod state;
 pub mod topology;
 pub mod variants;
 
 pub use config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
-pub use driver::{run, run_with_sequences, RareReport, RunTraces};
+pub use driver::{run, run_with_sequences, DriverSnapshot, RareDriver, RareReport, RunTraces};
+pub use persist::{
+    load_model, load_snapshot, resume_driver, save_checkpoint, save_model, ModelArtifact,
+};
 pub use reward::{PerfSnapshot, RewardKind};
 pub use state::TopoState;
 pub use topology::{EditMode, TopologyOptimizer};

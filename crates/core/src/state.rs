@@ -99,6 +99,40 @@ impl TopoState {
         out
     }
 
+    /// Raw `k` counters (checkpoint capture).
+    pub fn k_vec(&self) -> &[u16] {
+        &self.k
+    }
+
+    /// Raw `d` counters (checkpoint capture).
+    pub fn d_vec(&self) -> &[u16] {
+        &self.d
+    }
+
+    /// Raw per-node `k` bounds (checkpoint capture).
+    pub fn k_max_vec(&self) -> &[u16] {
+        &self.k_max
+    }
+
+    /// Raw per-node `d` bounds (checkpoint capture).
+    pub fn d_max_vec(&self) -> &[u16] {
+        &self.d_max
+    }
+
+    /// Rebuilds a state from raw vectors captured by the accessors above
+    /// (checkpoint restore). Returns `None` if the vectors disagree in
+    /// length or a counter exceeds its bound.
+    pub fn from_raw(k: Vec<u16>, d: Vec<u16>, k_max: Vec<u16>, d_max: Vec<u16>) -> Option<Self> {
+        let n = k.len();
+        if d.len() != n || k_max.len() != n || d_max.len() != n {
+            return None;
+        }
+        if k.iter().zip(&k_max).any(|(v, m)| v > m) || d.iter().zip(&d_max).any(|(v, m)| v > m) {
+            return None;
+        }
+        Some(Self { k, d, k_max, d_max })
+    }
+
     /// Total number of added edges implied by the state.
     pub fn total_k(&self) -> usize {
         self.k.iter().map(|&v| v as usize).sum()
@@ -195,6 +229,26 @@ mod tests {
         s.reset();
         assert_eq!(s.total_k(), 0);
         assert_eq!(s.total_d(), 0);
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_state() {
+        let mut s = state();
+        s.apply(&[2, 2, 2, 2, 2, 2]);
+        let back = TopoState::from_raw(
+            s.k_vec().to_vec(),
+            s.d_vec().to_vec(),
+            s.k_max_vec().to_vec(),
+            s.d_max_vec().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_raw_rejects_inconsistent_vectors() {
+        assert!(TopoState::from_raw(vec![1], vec![0, 0], vec![2], vec![1]).is_none());
+        assert!(TopoState::from_raw(vec![5], vec![0], vec![2], vec![1]).is_none(), "k > k_max");
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! End-to-end checkpoint/resume test of the `graphrare` CLI: a run that
+//! is killed mid-training and resumed from its last checkpoint must
+//! print a result summary byte-identical to an uninterrupted run, and a
+//! saved model artifact must reproduce the reported test accuracy.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use graphrare_datasets::{generate_spec, DatasetSpec};
+use graphrare_graph::io;
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphrare-resume-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_fixture(dir: &Path) -> PathBuf {
+    let g = generate_spec(
+        &DatasetSpec {
+            name: "resume",
+            num_nodes: 50,
+            num_edges: 110,
+            feat_dim: 16,
+            num_classes: 3,
+            homophily: 0.15,
+            degree_exponent: 0.3,
+            feature_signal: 0.8,
+            feature_density: 0.05,
+        },
+        1,
+    );
+    let input = dir.join("toy");
+    io::write_graph(&g, &input).unwrap();
+    input
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_graphrare")).args(args).output().expect("CLI binary runs");
+    assert!(out.status.success(), "CLI failed: {}", String::from_utf8_lossy(&out.stderr));
+    out
+}
+
+#[test]
+fn killed_run_resumes_bit_identically() {
+    let dir = fixture_dir("kill");
+    let input = write_fixture(&dir);
+    let input = input.to_str().unwrap();
+    let ckpts = dir.join("ckpts");
+    let ckpts_str = ckpts.to_str().unwrap();
+    let common =
+        ["--input", input, "--steps", "6", "--seed", "3", "--checkpoint-every", "2", "--quiet"];
+
+    // Reference: uninterrupted run (checkpointing on, like the real one,
+    // so both take the identical code path).
+    let mut full = common.to_vec();
+    full.extend(["--checkpoint-dir", ckpts_str]);
+    let reference = run_cli(&full);
+    for step in [2, 4, 6] {
+        assert!(
+            ckpts.join(format!("step-{step:06}.grrs")).exists(),
+            "missing checkpoint for step {step}"
+        );
+    }
+
+    // Simulate a kill between step 4 and the end of the run: everything
+    // after the step-4 checkpoint is lost.
+    std::fs::remove_file(ckpts.join("step-000006.grrs")).unwrap();
+
+    let mut resumed = common.to_vec();
+    resumed.extend(["--checkpoint-dir", ckpts_str, "--resume"]);
+    let rerun = run_cli(&resumed);
+
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&rerun.stdout),
+        "resumed run diverged from the uninterrupted one"
+    );
+    // The resumed run must have rewritten the lost step-6 checkpoint.
+    assert!(ckpts.join("step-000006.grrs").exists());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_with_empty_checkpoint_dir_starts_fresh() {
+    let dir = fixture_dir("fresh");
+    let input = write_fixture(&dir);
+    let input = input.to_str().unwrap();
+    let ckpts = dir.join("ckpts");
+    std::fs::create_dir_all(&ckpts).unwrap();
+
+    let plain = run_cli(&["--input", input, "--steps", "4", "--seed", "3", "--quiet"]);
+    let resumed = run_cli(&[
+        "--input",
+        input,
+        "--steps",
+        "4",
+        "--seed",
+        "3",
+        "--quiet",
+        "--resume",
+        "--checkpoint-dir",
+        ckpts.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "checkpointed code path changed the numbers"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn saved_model_reproduces_reported_test_accuracy() {
+    let dir = fixture_dir("model");
+    let input = write_fixture(&dir);
+    let input = input.to_str().unwrap();
+    let model = dir.join("model.grrs");
+    let model = model.to_str().unwrap();
+
+    let trained = run_cli(&[
+        "--input",
+        input,
+        "--steps",
+        "4",
+        "--seed",
+        "3",
+        "--quiet",
+        "--save-model",
+        model,
+    ]);
+    let reloaded = run_cli(&["--input", input, "--quiet", "--load-model", model]);
+
+    let acc = |out: &Output| -> String {
+        let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("test accuracy"))
+            .unwrap_or_else(|| panic!("no test accuracy line in {stdout:?}"))
+            .to_string();
+        line.rsplit(' ').next().unwrap().to_string()
+    };
+    assert_eq!(acc(&trained), acc(&reloaded), "saved model changed the test accuracy");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_rejects_mismatched_config() {
+    let dir = fixture_dir("mismatch");
+    let input = write_fixture(&dir);
+    let input = input.to_str().unwrap();
+    let ckpts = dir.join("ckpts");
+    let ckpts_str = ckpts.to_str().unwrap();
+
+    run_cli(&[
+        "--input",
+        input,
+        "--steps",
+        "4",
+        "--seed",
+        "3",
+        "--quiet",
+        "--checkpoint-every",
+        "2",
+        "--checkpoint-dir",
+        ckpts_str,
+    ]);
+
+    // Same checkpoints, different seed: the CLI must refuse, not
+    // silently continue a different run.
+    let out = Command::new(env!("CARGO_BIN_EXE_graphrare"))
+        .args([
+            "--input",
+            input,
+            "--steps",
+            "4",
+            "--seed",
+            "4",
+            "--quiet",
+            "--resume",
+            "--checkpoint-dir",
+            ckpts_str,
+        ])
+        .output()
+        .expect("CLI binary runs");
+    assert!(!out.status.success(), "config mismatch was not rejected");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot resume"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

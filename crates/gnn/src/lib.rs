@@ -27,4 +27,4 @@ pub mod trainer;
 
 pub use model::{Backbone, GnnModel, GraphTensors};
 pub use models::{build_model, Gat, Gcn, GraphSage, H2gcn, Mlp, ModelConfig};
-pub use trainer::{evaluate, fit, EvalResult, FitReport, TrainConfig, Trainer};
+pub use trainer::{evaluate, fit, EvalResult, FitReport, TrainConfig, Trainer, TrainerState};

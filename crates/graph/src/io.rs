@@ -174,32 +174,45 @@ pub fn read_graph(prefix: &Path) -> Result<Graph, IoError> {
     assemble(edges, features, labels)
 }
 
-/// Writes `<prefix>.edges`, `<prefix>.features` and `<prefix>.labels`,
-/// creating parent directories.
-pub fn write_graph(g: &Graph, prefix: &Path) -> Result<(), IoError> {
-    if let Some(parent) = prefix.parent() {
-        fs::create_dir_all(parent)?;
-    }
+/// Serialises the three bundle files and hands each `(path, contents)`
+/// pair to `write`. This is [`write_graph`] with the filesystem call
+/// pluggable, so callers can substitute a different write strategy —
+/// the CLI routes bundle writes through the store crate's atomic
+/// temp-file-then-rename helper.
+pub fn write_graph_via(
+    g: &Graph,
+    prefix: &Path,
+    write: &mut dyn FnMut(&Path, &[u8]) -> io::Result<()>,
+) -> Result<(), IoError> {
     let mut edges = String::new();
     let _ = writeln!(edges, "# {} nodes, {} undirected edges", g.num_nodes(), g.num_edges());
     for (u, v) in g.edges() {
         let _ = writeln!(edges, "{u}\t{v}");
     }
-    fs::write(prefix.with_extension("edges"), edges)?;
+    write(&prefix.with_extension("edges"), edges.as_bytes())?;
 
     let mut labels = String::new();
     for &l in g.labels() {
         let _ = writeln!(labels, "{l}");
     }
-    fs::write(prefix.with_extension("labels"), labels)?;
+    write(&prefix.with_extension("labels"), labels.as_bytes())?;
 
     let mut feats = String::new();
     for r in 0..g.num_nodes() {
         let row: Vec<String> = g.features().row(r).iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(feats, "{}", row.join(" "));
     }
-    fs::write(prefix.with_extension("features"), feats)?;
+    write(&prefix.with_extension("features"), feats.as_bytes())?;
     Ok(())
+}
+
+/// Writes `<prefix>.edges`, `<prefix>.features` and `<prefix>.labels`,
+/// creating parent directories.
+pub fn write_graph(g: &Graph, prefix: &Path) -> Result<(), IoError> {
+    if let Some(parent) = prefix.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    write_graph_via(g, prefix, &mut |path, bytes| fs::write(path, bytes))
 }
 
 #[cfg(test)]
@@ -223,6 +236,25 @@ mod tests {
         assert_eq!(back.num_classes(), 2);
         assert!(back.features().max_abs_diff(g.features()) < 1e-6);
         let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn write_via_collects_three_files_and_propagates_errors() {
+        let g = sample();
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        write_graph_via(&g, Path::new("out/toy"), &mut |p, bytes| {
+            seen.push((p.display().to_string(), bytes.len()));
+            Ok(())
+        })
+        .unwrap();
+        let exts: Vec<&str> = seen.iter().map(|(p, _)| p.rsplit('.').next().unwrap()).collect();
+        assert_eq!(exts, vec!["edges", "labels", "features"]);
+        assert!(seen.iter().all(|&(_, len)| len > 0));
+
+        let err = write_graph_via(&g, Path::new("out/toy"), &mut |_, _| {
+            Err(io::Error::other("writer refused"))
+        });
+        assert!(matches!(err, Err(IoError::Io(_))));
     }
 
     #[test]

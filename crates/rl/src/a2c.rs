@@ -23,6 +23,7 @@ use graphrare_tensor::{Matrix, Tape};
 
 use crate::buffer::{gae, normalize, RolloutBuffer};
 use crate::policy::{Policy, ValueNet, ACTION_ARITY};
+use crate::snapshot::AgentState;
 
 /// A2C hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +93,31 @@ impl<P: Policy> A2cAgent<P> {
             cfg,
             params,
         }
+    }
+
+    /// Exports the complete mutable state of the agent for checkpointing
+    /// (see [`AgentState`]).
+    pub fn export_state(&self) -> AgentState {
+        AgentState {
+            params: self.params.iter().map(Param::value).collect(),
+            adam: self.opt.export_state(&self.params),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Restores state captured by [`A2cAgent::export_state`] onto an agent
+    /// built from the same configuration.
+    ///
+    /// # Panics
+    /// Panics on parameter count/shape mismatch — checkpoints are
+    /// validated by the store layer before they reach an agent.
+    pub fn import_state(&mut self, state: &AgentState) {
+        assert_eq!(state.params.len(), self.params.len(), "agent import: param count mismatch");
+        for (p, m) in self.params.iter().zip(&state.params) {
+            p.set_value(m.clone());
+        }
+        self.opt.import_state(&self.params, &state.adam);
+        self.rng = StdRng::from_state(state.rng);
     }
 
     /// Samples an action; returns `(actions, joint log-prob, value)`.

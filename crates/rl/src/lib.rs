@@ -24,8 +24,10 @@ pub mod a2c;
 pub mod buffer;
 pub mod policy;
 pub mod ppo;
+pub mod snapshot;
 
 pub use a2c::{A2cAgent, A2cConfig, A2cStats};
 pub use buffer::{gae, normalize, RolloutBuffer};
 pub use policy::{GlobalPolicy, Policy, SharedPolicy, ValueNet, ACTION_ARITY};
 pub use ppo::{PpoAgent, PpoConfig, PpoStats};
+pub use snapshot::AgentState;

@@ -17,6 +17,7 @@ use graphrare_tensor::{Matrix, Tape};
 
 use crate::buffer::{gae, normalize, RolloutBuffer};
 use crate::policy::{Policy, ValueNet, ACTION_ARITY};
+use crate::snapshot::AgentState;
 
 /// PPO hyper-parameters (defaults follow Stable-Baselines3).
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +62,7 @@ impl Default for PpoConfig {
 }
 
 /// Diagnostics of one [`PpoAgent::update`] call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PpoStats {
     /// Mean clipped-surrogate policy loss.
     pub policy_loss: f32,
@@ -101,6 +102,32 @@ impl<P: Policy> PpoAgent<P> {
     /// The wrapped policy.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Exports the complete mutable state of the agent — policy + critic
+    /// parameters, Adam moments and the action-sampling RNG — for
+    /// checkpointing (see [`AgentState`]).
+    pub fn export_state(&self) -> AgentState {
+        AgentState {
+            params: self.params.iter().map(Param::value).collect(),
+            adam: self.opt.export_state(&self.params),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Restores state captured by [`PpoAgent::export_state`] onto an agent
+    /// built from the same configuration.
+    ///
+    /// # Panics
+    /// Panics on parameter count/shape mismatch — checkpoints are
+    /// validated by the store layer before they reach an agent.
+    pub fn import_state(&mut self, state: &AgentState) {
+        assert_eq!(state.params.len(), self.params.len(), "agent import: param count mismatch");
+        for (p, m) in self.params.iter().zip(&state.params) {
+            p.set_value(m.clone());
+        }
+        self.opt.import_state(&self.params, &state.adam);
+        self.rng = StdRng::from_state(state.rng);
     }
 
     /// Samples an action for `state`. Returns the per-head action indices,
@@ -319,6 +346,40 @@ mod tests {
             agent.update(&buffer, 0.0);
         }
         assert!(final_mean > 0.85, "bandit mean reward only reached {final_mean}");
+    }
+
+    #[test]
+    fn export_import_state_resumes_agent_bitwise() {
+        let mut a = make_agent(4, 3, 9);
+        let state_vec = [0.2f32, 0.4, 0.6, 0.8];
+        // Advance: act + one update so RNG, params and Adam all move.
+        let mut buffer = RolloutBuffer::new();
+        for _ in 0..8 {
+            let (actions, logp, value) = a.act(&state_vec);
+            buffer.push(state_vec.to_vec(), actions, logp, value, 0.5, false);
+        }
+        a.update(&buffer, 0.1);
+        let snap = a.export_state();
+
+        let mut b = make_agent(4, 3, 9);
+        b.import_state(&snap);
+
+        // Both agents must now produce identical streams of actions,
+        // log-probs, values and update statistics.
+        let mut buf_a = RolloutBuffer::new();
+        let mut buf_b = RolloutBuffer::new();
+        for _ in 0..8 {
+            let (aa, la, va) = a.act(&state_vec);
+            let (ab, lb, vb) = b.act(&state_vec);
+            assert_eq!(aa, ab);
+            assert_eq!(la, lb);
+            assert_eq!(va, vb);
+            buf_a.push(state_vec.to_vec(), aa, la, va, 0.25, false);
+            buf_b.push(state_vec.to_vec(), ab, lb, vb, 0.25, false);
+        }
+        let sa = a.update(&buf_a, 0.0);
+        let sb = b.update(&buf_b, 0.0);
+        assert_eq!(sa, sb, "resumed agent update stats diverged");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Crash-safe file replacement.
+//!
+//! A checkpoint that is half-written is worse than no checkpoint: a
+//! resumed run would silently diverge or fail mid-restore. All store
+//! writes therefore go to a temporary sibling first, are flushed to
+//! disk, and only then renamed over the destination — readers observe
+//! either the complete old file or the complete new file, never a
+//! partial one.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::process;
+
+use crate::error::StoreError;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The parent directory is created if absent. The bytes are written to
+/// a process-unique temporary sibling, fsynced, and renamed into place;
+/// the directory itself is then fsynced on a best-effort basis so the
+/// rename survives a power loss. On any error the temporary file is
+/// removed. Returns the number of bytes written.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<u64, StoreError> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        fs::create_dir_all(dir)?;
+    }
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+
+    let result = (|| -> Result<(), StoreError> {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result?;
+
+    // Persist the rename itself; not all filesystems support opening a
+    // directory for sync, so failures here are ignored.
+    if let Some(dir) = parent {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grr-store-atomic-{tag}-{}", process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("replace");
+        let path = dir.join("sub").join("file.bin");
+        assert_eq!(write_atomic(&path, b"first").unwrap(), 5);
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp litter left behind.
+        let names: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["file.bin"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_reports_io_error() {
+        let dir = temp_dir("fail");
+        // Destination parent is a *file*, so create_dir_all fails.
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, b"x").unwrap();
+        let path = blocker.join("child.bin");
+        assert!(matches!(write_atomic(&path, b"data"), Err(StoreError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Every section payload and the container as a whole carry a CRC so that
+//! torn writes, bit rot and truncation are detected loudly at read time
+//! instead of surfacing as silently-wrong model weights. Table-driven,
+//! with the table built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, as used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_crc() {
+        let base = b"graphrare checkpoint payload".to_vec();
+        let crc = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut copy = base.clone();
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), crc, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

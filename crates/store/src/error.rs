@@ -1,0 +1,143 @@
+//! Typed errors for every store read and write path.
+//!
+//! The contract of the store is that **no malformed input panics**: a
+//! corrupted byte, a truncated file, a wrong magic number or an
+//! unsupported format version each surface as a distinct [`StoreError`]
+//! variant the caller can match on.
+
+use std::fmt;
+use std::io;
+
+use crate::section::SectionKind;
+
+/// Any failure while writing or reading a container.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the container magic.
+    BadMagic {
+        /// The first bytes actually found (zero-padded if shorter).
+        found: [u8; 8],
+    },
+    /// The container was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The file ends before a structure it promises is complete.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The whole-file checksum does not match.
+    FileCrcMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        computed: u32,
+    },
+    /// A section payload's checksum does not match.
+    SectionCrcMismatch {
+        /// Section name.
+        section: String,
+        /// CRC stored in the section table.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A requested section is absent.
+    MissingSection {
+        /// Section name.
+        section: String,
+    },
+    /// A section exists but holds a different payload kind.
+    KindMismatch {
+        /// Section name.
+        section: String,
+        /// Kind the caller asked for.
+        expected: SectionKind,
+        /// Kind recorded in the section table.
+        found: SectionKind,
+    },
+    /// A section table entry carries a kind tag this build does not know.
+    UnknownKind {
+        /// Section name (empty if the name itself was unreadable).
+        section: String,
+        /// The raw tag.
+        raw: u16,
+    },
+    /// Structural inconsistency: lengths, offsets or counts that cannot
+    /// all be true at once (detected before or despite valid CRCs).
+    Corrupt {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// The decoded value is well-formed but violates a caller-supplied
+    /// expectation (shape, count, metadata mismatch on restore).
+    Mismatch {
+        /// Description of the expectation that failed.
+        context: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a graphrare store container (magic {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "container format version {found} unsupported (this build reads <= {supported})")
+            }
+            StoreError::Truncated { context, needed, available } => {
+                write!(
+                    f,
+                    "truncated container: {context} needs {needed} bytes, {available} available"
+                )
+            }
+            StoreError::FileCrcMismatch { stored, computed } => {
+                write!(f, "file checksum mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+            StoreError::SectionCrcMismatch { section, stored, computed } => {
+                write!(
+                    f,
+                    "section '{section}' checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "container has no section '{section}'")
+            }
+            StoreError::KindMismatch { section, expected, found } => {
+                write!(f, "section '{section}' holds {found:?}, expected {expected:?}")
+            }
+            StoreError::UnknownKind { section, raw } => {
+                write!(f, "section '{section}' has unknown payload kind tag {raw}")
+            }
+            StoreError::Corrupt { context } => write!(f, "corrupt container: {context}"),
+            StoreError::Mismatch { context } => write!(f, "container mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

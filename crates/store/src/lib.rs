@@ -1,0 +1,49 @@
+//! `graphrare-store`: versioned binary artifact store.
+//!
+//! One file format for everything GraphRARE persists: checkpoints of the
+//! Algorithm-1 driver loop, trained model parameter sets, optimised graph
+//! topologies and accuracy histories. Design goals, in order:
+//!
+//! 1. **Bit-exactness.** Floats are stored as raw IEEE-754 bits; a
+//!    snapshot restored into a fresh process continues the run with
+//!    results identical to an uninterrupted one.
+//! 2. **Loud failure.** Magic, format version, a whole-file CRC-32 and a
+//!    per-section CRC-32 mean corrupted, truncated or foreign files are
+//!    rejected with a typed [`StoreError`] — never a panic, never silently
+//!    wrong weights.
+//! 3. **Crash safety.** Writes go through a temp-file-then-rename helper
+//!    ([`write_atomic`]) so a kill mid-checkpoint leaves the previous
+//!    checkpoint intact.
+//! 4. **No dependencies.** std only, like the rest of the workspace.
+//!
+//! The format is a flat list of named, typed sections — see
+//! [`container`] for the byte layout and [`SectionKind`] for the payload
+//! types. Higher layers (the `graphrare-core` persist module) decide
+//! which sections a checkpoint contains; this crate only guarantees they
+//! round-trip exactly.
+
+#![warn(missing_docs)]
+
+/// First bytes of every container file.
+pub const MAGIC: &[u8; 8] = b"GRRSTORE";
+
+/// Current container format version. Bump on any layout change; readers
+/// reject versions they do not understand with
+/// [`StoreError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Conventional file extension for container files.
+pub const FILE_EXTENSION: &str = "grrs";
+
+pub mod atomic;
+pub mod container;
+pub mod crc;
+pub mod error;
+pub mod section;
+pub mod wire;
+
+pub use atomic::write_atomic;
+pub use container::{Container, ContainerWriter};
+pub use crc::crc32;
+pub use error::StoreError;
+pub use section::{SectionKind, TopologyRecord};

@@ -1,0 +1,224 @@
+//! Little-endian primitive encoding shared by all section codecs.
+//!
+//! [`ByteWriter`] appends primitives to a growable buffer; [`ByteReader`]
+//! consumes them with bounds checks. Readers never panic on malformed
+//! input: every decode failure becomes a [`StoreError::Truncated`] or
+//! [`StoreError::Corrupt`].
+
+use crate::error::StoreError;
+
+/// Append-only encoder over a `Vec<u8>`.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Finishes encoding and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` (raw IEEE-754 bits — round-trips exactly).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (raw IEEE-754 bits — round-trips exactly).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u16`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics if `s` exceeds `u16::MAX` bytes (section and parameter
+    /// names are short by construction).
+    pub fn put_str(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "string too long for wire format");
+        self.put_u16(s.len() as u16);
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Name used in error contexts ("section 'x' payload", "table", ...).
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `bytes`; `context` labels decode errors.
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
+        Self { bytes, pos: 0, context }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless the reader consumed the payload exactly.
+    pub fn expect_exhausted(&self, what: &str) -> Result<(), StoreError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt {
+                context: format!("{what}: {} trailing bytes after payload", self.remaining()),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context: self.context,
+                needed: (self.pos + n) as u64,
+                available: self.bytes.len() as u64,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and checks it fits in `usize` and is at most `cap`
+    /// (a sanity bound derived from the remaining payload size, so a
+    /// corrupted length cannot trigger a huge allocation).
+    pub fn get_count(&mut self, cap: usize, what: &str) -> Result<usize, StoreError> {
+        let raw = self.get_u64()?;
+        let n = usize::try_from(raw).map_err(|_| StoreError::Corrupt {
+            context: format!("{what}: count {raw} overflows"),
+        })?;
+        if n > cap {
+            return Err(StoreError::Corrupt {
+                context: format!("{what}: count {n} exceeds plausible bound {cap}"),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let len = self.get_u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt {
+            context: format!("{}: invalid utf-8", self.context),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(-0.0);
+        w.put_f64(f64::MIN_POSITIVE);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reads_past_end_are_truncation_errors() {
+        let mut r = ByteReader::new(&[1, 2, 3], "test");
+        assert!(matches!(r.get_u64(), Err(StoreError::Truncated { .. })));
+        // Failed read consumes nothing.
+        assert_eq!(r.get_u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn count_bound_rejects_absurd_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert!(matches!(r.get_count(1024, "vec"), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[0], "test");
+        assert!(matches!(r.expect_exhausted("payload"), Err(StoreError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,157 @@
+//! Adversarial inputs: corrupted, truncated, mislabelled and random
+//! byte streams must come back as typed [`StoreError`]s — the read path
+//! never panics, whatever the bytes.
+
+use proptest::prelude::*;
+
+use graphrare_store::{crc32, Container, ContainerWriter, SectionKind, StoreError, TopologyRecord};
+use graphrare_tensor::Matrix;
+
+/// A container shaped like a real checkpoint: several kinds, non-trivial
+/// payload sizes.
+fn sample() -> Vec<u8> {
+    let mut w = ContainerWriter::new();
+    w.put_matrix("trainer/params", &Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect()));
+    w.put_rng("trainer/rng", [9, 8, 7, 6]);
+    w.put_topology(
+        "best/graph",
+        &TopologyRecord { n: 5, num_classes: 2, edges: vec![(0, 1), (3, 4)] },
+    );
+    w.put_u16_vec("topo/k", &[0, 1, 2, 3, 4]);
+    w.put_scalars("floats", &[("best_val".into(), 0.75)]);
+    w.to_bytes()
+}
+
+/// Recomputes and rewrites the trailing whole-file CRC after tampering,
+/// so the per-section checks (not the file CRC) are what must catch the
+/// damage.
+fn reseal(bytes: &mut [u8]) {
+    let crc_at = bytes.len() - 4;
+    let crc = crc32(&bytes[..crc_at]);
+    bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Byte offset of the first table entry's kind tag.
+fn first_kind_tag_at(bytes: &[u8]) -> usize {
+    let crc_at = bytes.len() - 4;
+    let table_offset = u64::from_le_bytes(bytes[crc_at - 8..crc_at].try_into().unwrap()) as usize;
+    let name_len =
+        u16::from_le_bytes(bytes[table_offset + 4..table_offset + 6].try_into().unwrap()) as usize;
+    table_offset + 6 + name_len
+}
+
+#[test]
+fn payload_flip_is_pinned_to_the_damaged_section() {
+    // Flip a byte inside the first payload (right after the 12-byte
+    // header), then re-seal the file CRC: the section CRC must catch it
+    // and name the section.
+    let mut bytes = sample();
+    bytes[12] ^= 0x40;
+    reseal(&mut bytes);
+    match Container::from_bytes(bytes) {
+        Err(StoreError::SectionCrcMismatch { section, .. }) => {
+            assert_eq!(section, "trainer/params");
+        }
+        other => panic!("expected SectionCrcMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_kind_tag_is_rejected_by_name() {
+    let mut bytes = sample();
+    let at = first_kind_tag_at(&bytes);
+    bytes[at..at + 2].copy_from_slice(&999u16.to_le_bytes());
+    reseal(&mut bytes);
+    match Container::from_bytes(bytes) {
+        Err(StoreError::UnknownKind { section, raw: 999 }) => {
+            assert_eq!(section, "trainer/params");
+        }
+        other => panic!("expected UnknownKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn getter_on_mislabelled_section_is_a_typed_error() {
+    let bytes = sample();
+    let c = Container::from_bytes(bytes).unwrap();
+    assert!(matches!(
+        c.matrix("trainer/rng"),
+        Err(StoreError::KindMismatch {
+            expected: SectionKind::Matrix,
+            found: SectionKind::Rng,
+            ..
+        })
+    ));
+    assert!(matches!(c.rng("nope"), Err(StoreError::MissingSection { .. })));
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = Container::read(std::path::Path::new("/nonexistent/ckpt.grrs")).unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)));
+}
+
+fn try_every_getter(c: &Container, name: &str) {
+    // Exercising each typed getter on arbitrary payload bytes: any
+    // outcome is fine as long as it is a `Result`, never a panic.
+    let _ = c.bytes(name);
+    let _ = c.matrix(name);
+    let _ = c.param_set(name);
+    let _ = c.adam(name);
+    let _ = c.rng(name);
+    let _ = c.topology(name);
+    let _ = c.u16_vec(name);
+    let _ = c.f32_vec(name);
+    let _ = c.f64_vec(name);
+    let _ = c.u64_vec(name);
+    let _ = c.scalars(name);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single-byte corruption anywhere in the file is detected at
+    /// parse time (the file CRC covers everything but itself, and the
+    /// CRC bytes themselves are part of the comparison).
+    #[test]
+    fn random_flip_never_parses(seed in any::<u64>(), mask in 1u8..=255) {
+        let mut bytes = sample();
+        let at = (seed % bytes.len() as u64) as usize;
+        bytes[at] ^= mask;
+        prop_assert!(Container::from_bytes(bytes).is_err());
+    }
+
+    /// Every proper prefix of a valid file is rejected.
+    #[test]
+    fn random_truncation_never_parses(seed in any::<u64>()) {
+        let bytes = sample();
+        let len = (seed % bytes.len() as u64) as usize;
+        prop_assert!(Container::from_bytes(bytes[..len].to_vec()).is_err());
+    }
+
+    /// Fully random byte soup never parses and never panics.
+    #[test]
+    fn garbage_never_parses(garbage in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert!(Container::from_bytes(garbage).is_err());
+    }
+
+    /// Arbitrary payload bytes presented under every kind tag in turn:
+    /// the typed decoders must reject or accept, never panic — even
+    /// when length prefixes inside the payload lie about the size.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let mut w = ContainerWriter::new();
+        w.put_bytes("x", &payload);
+        let mut bytes = w.to_bytes();
+        let at = first_kind_tag_at(&bytes);
+        for kind in SectionKind::ALL {
+            bytes[at..at + 2].copy_from_slice(&(kind as u16).to_le_bytes());
+            reseal(&mut bytes);
+            if let Ok(c) = Container::from_bytes(bytes.clone()) {
+                try_every_getter(&c, "x");
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests: every section codec round-trips bit-exactly through
+//! a serialised container, for arbitrary shapes and raw float bit
+//! patterns (including NaN payloads, which must survive unchanged).
+
+use proptest::prelude::*;
+
+use graphrare_store::{Container, ContainerWriter, TopologyRecord};
+use graphrare_tensor::optim::AdamSnapshot;
+use graphrare_tensor::Matrix;
+
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(any::<u32>(), r * c).prop_map(move |bits| {
+            Matrix::from_vec(r, c, bits.into_iter().map(f32::from_bits).collect())
+        })
+    })
+}
+
+fn arb_param_set() -> impl Strategy<Value = Vec<(String, Matrix)>> {
+    proptest::collection::vec(arb_matrix(), 0..5)
+        .prop_map(|ms| ms.into_iter().enumerate().map(|(i, m)| (format!("p{i}"), m)).collect())
+}
+
+fn arb_adam() -> impl Strategy<Value = AdamSnapshot> {
+    // Decode enforces m/v shape equality per pair, so generate pairs
+    // sharing one shape.
+    let pair = arb_matrix().prop_flat_map(|m| {
+        let (r, c) = (m.rows(), m.cols());
+        (
+            Just(m),
+            proptest::collection::vec(any::<u32>(), r * c).prop_map(move |bits| {
+                Matrix::from_vec(r, c, bits.into_iter().map(f32::from_bits).collect())
+            }),
+        )
+    });
+    (any::<u64>(), proptest::collection::vec(pair, 0..4))
+        .prop_map(|(t, moments)| AdamSnapshot { t, moments })
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologyRecord> {
+    (1u32..40, 1u32..8).prop_flat_map(|(n, num_classes)| {
+        proptest::collection::vec((0..n, 0..n), 0..60).prop_map(move |edges| TopologyRecord {
+            n,
+            num_classes,
+            edges,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matrix_roundtrips_bit_exactly(m in arb_matrix()) {
+        let mut w = ContainerWriter::new();
+        w.put_matrix("m", &m);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert!(bits_eq(&c.matrix("m").unwrap(), &m));
+    }
+
+    #[test]
+    fn param_set_roundtrips_names_order_and_bits(ps in arb_param_set()) {
+        let mut w = ContainerWriter::new();
+        w.put_param_set("ps", &ps);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back = c.param_set("ps").unwrap();
+        prop_assert_eq!(back.len(), ps.len());
+        for ((an, am), (bn, bm)) in back.iter().zip(&ps) {
+            prop_assert_eq!(an, bn);
+            prop_assert!(bits_eq(am, bm));
+        }
+    }
+
+    #[test]
+    fn adam_roundtrips_step_and_moments(snap in arb_adam()) {
+        let mut w = ContainerWriter::new();
+        w.put_adam("adam", &snap);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back = c.adam("adam").unwrap();
+        prop_assert_eq!(back.t, snap.t);
+        prop_assert_eq!(back.moments.len(), snap.moments.len());
+        for ((am, av), (bm, bv)) in back.moments.iter().zip(&snap.moments) {
+            prop_assert!(bits_eq(am, bm));
+            prop_assert!(bits_eq(av, bv));
+        }
+    }
+
+    #[test]
+    fn rng_roundtrips(state in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let state = [state.0, state.1, state.2, state.3];
+        let mut w = ContainerWriter::new();
+        w.put_rng("rng", state);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert_eq!(c.rng("rng").unwrap(), state);
+    }
+
+    #[test]
+    fn topology_roundtrips(t in arb_topology()) {
+        let mut w = ContainerWriter::new();
+        w.put_topology("g", &t);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back = c.topology("g").unwrap();
+        prop_assert_eq!(back.n, t.n);
+        prop_assert_eq!(back.num_classes, t.num_classes);
+        prop_assert_eq!(back.edges, t.edges);
+    }
+
+    #[test]
+    fn u16_vec_roundtrips(v in proptest::collection::vec(any::<u16>(), 0..50)) {
+        let mut w = ContainerWriter::new();
+        w.put_u16_vec("v", &v);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert_eq!(c.u16_vec("v").unwrap(), v);
+    }
+
+    #[test]
+    fn f32_vec_roundtrips_raw_bits(bits in proptest::collection::vec(any::<u32>(), 0..50)) {
+        let v: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut w = ContainerWriter::new();
+        w.put_f32_vec("v", &v);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back: Vec<u32> = c.f32_vec("v").unwrap().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn f64_vec_roundtrips_raw_bits(bits in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let v: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut w = ContainerWriter::new();
+        w.put_f64_vec("v", &v);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back: Vec<u64> = c.f64_vec("v").unwrap().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn u64_vec_roundtrips(v in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let mut w = ContainerWriter::new();
+        w.put_u64_vec("v", &v);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert_eq!(c.u64_vec("v").unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip_keys_order_and_bits(bits in proptest::collection::vec(any::<u64>(), 0..12)) {
+        let entries: Vec<(String, f64)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (format!("k{i}"), f64::from_bits(b)))
+            .collect();
+        let mut w = ContainerWriter::new();
+        w.put_scalars("s", &entries);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        let back = c.scalars("s").unwrap();
+        prop_assert_eq!(back.len(), entries.len());
+        for ((ak, av), (bk, bv)) in back.iter().zip(&entries) {
+            prop_assert_eq!(ak, bk);
+            prop_assert_eq!(av.to_bits(), bv.to_bits());
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut w = ContainerWriter::new();
+        w.put_bytes("b", &v);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert_eq!(c.bytes("b").unwrap(), v.as_slice());
+    }
+
+    /// A container holding one section of every kind survives a full
+    /// serialise/parse cycle with names, kinds and contents intact.
+    #[test]
+    fn mixed_container_roundtrips(
+        m in arb_matrix(),
+        t in arb_topology(),
+        u16s in proptest::collection::vec(any::<u16>(), 0..20),
+        raw in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let mut w = ContainerWriter::new();
+        w.put_matrix("matrix", &m);
+        w.put_topology("topology", &t);
+        w.put_u16_vec("u16s", &u16s);
+        w.put_bytes("raw", &raw);
+        w.put_rng("rng", [0, 1, 2, 3]);
+        w.put_scalars("meta", &[("step".into(), 4.0)]);
+        let c = Container::from_bytes(w.to_bytes()).unwrap();
+        prop_assert_eq!(c.sections().count(), 6);
+        prop_assert!(c.has("topology"));
+        prop_assert!(!c.has("missing"));
+        prop_assert!(bits_eq(&c.matrix("matrix").unwrap(), &m));
+        prop_assert_eq!(c.u16_vec("u16s").unwrap(), u16s);
+        prop_assert_eq!(c.bytes("raw").unwrap(), raw.as_slice());
+        prop_assert_eq!(c.scalar("meta", "step").unwrap(), 4.0);
+    }
+}

@@ -22,6 +22,31 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
+/// Serializable snapshot of an [`Sgd`] optimiser's internal state.
+///
+/// `velocity[i]` is the momentum buffer of the `i`-th parameter of the
+/// `params` slice the snapshot was exported against; parameters the
+/// optimiser has never stepped export as zero matrices, which is exactly
+/// the state a fresh step would lazily create.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgdSnapshot {
+    /// Per-parameter momentum buffers, in `params`-slice order.
+    pub velocity: Vec<Matrix>,
+}
+
+/// Serializable snapshot of an [`Adam`] optimiser's internal state.
+///
+/// Captures the global step counter `t` (which drives bias correction)
+/// and the first/second moment estimates per parameter, in the order of
+/// the `params` slice the snapshot was exported against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamSnapshot {
+    /// Global step count (bias-correction exponent).
+    pub t: u64,
+    /// Per-parameter `(m, v)` moment pairs, in `params`-slice order.
+    pub moments: Vec<(Matrix, Matrix)>,
+}
+
 /// Stochastic gradient descent with optional momentum and decoupled weight
 /// decay.
 pub struct Sgd {
@@ -35,6 +60,35 @@ impl Sgd {
     /// Creates an SGD optimiser.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         Self { lr, momentum, weight_decay, velocity: HashMap::new() }
+    }
+
+    /// Exports the momentum buffers for `params` (in slice order); never-
+    /// stepped parameters export as zeros.
+    pub fn export_state(&self, params: &[Param]) -> SgdSnapshot {
+        SgdSnapshot {
+            velocity: params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    self.velocity.get(&key(p)).cloned().unwrap_or_else(|| Matrix::zeros(r, c))
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores momentum buffers exported by [`Sgd::export_state`] against
+    /// the same parameter list (matched by order).
+    ///
+    /// # Panics
+    /// Panics on length or shape mismatch — state files are validated by
+    /// the store layer before they reach an optimiser.
+    pub fn import_state(&mut self, params: &[Param], snap: &SgdSnapshot) {
+        assert_eq!(params.len(), snap.velocity.len(), "sgd import: parameter count mismatch");
+        self.velocity.clear();
+        for (p, vel) in params.iter().zip(&snap.velocity) {
+            assert_eq!(p.shape(), vel.shape(), "sgd import: shape mismatch for {}", p.name());
+            self.velocity.insert(key(p), vel.clone());
+        }
     }
 }
 
@@ -101,6 +155,42 @@ impl Adam {
     /// Creates Adam with explicit betas.
     pub fn with_betas(lr: f32, weight_decay: f32, beta1: f32, beta2: f32) -> Self {
         Self { lr, beta1, beta2, eps: 1e-8, weight_decay, t: 0, state: HashMap::new() }
+    }
+
+    /// Exports the step counter and moment estimates for `params` (in
+    /// slice order); never-stepped parameters export as zero moments.
+    pub fn export_state(&self, params: &[Param]) -> AdamSnapshot {
+        AdamSnapshot {
+            t: self.t,
+            moments: params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    self.state.get(&key(p)).map_or_else(
+                        || (Matrix::zeros(r, c), Matrix::zeros(r, c)),
+                        |s| (s.m.clone(), s.v.clone()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores state exported by [`Adam::export_state`] against the same
+    /// parameter list (matched by order). A subsequent [`Optimizer::step`]
+    /// continues the original optimisation trajectory bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on length or shape mismatch — state files are validated by
+    /// the store layer before they reach an optimiser.
+    pub fn import_state(&mut self, params: &[Param], snap: &AdamSnapshot) {
+        assert_eq!(params.len(), snap.moments.len(), "adam import: parameter count mismatch");
+        self.t = snap.t;
+        self.state.clear();
+        for (p, (m, v)) in params.iter().zip(&snap.moments) {
+            assert_eq!(p.shape(), m.shape(), "adam import: m shape mismatch for {}", p.name());
+            assert_eq!(p.shape(), v.shape(), "adam import: v shape mismatch for {}", p.name());
+            self.state.insert(key(p), AdamState { m: m.clone(), v: v.clone() });
+        }
     }
 }
 
@@ -195,6 +285,73 @@ mod tests {
         let mut opt = Adam::new(0.05, 0.5);
         let w = quadratic_descent(&mut opt, 500);
         assert!(w < 2.9 && w > 1.0, "w = {w}");
+    }
+
+    /// One full autograd step of `f(w) = (w - 3)^2` for a given parameter.
+    fn one_step(opt: &mut dyn Optimizer, w: &Param) {
+        zero_grads(std::slice::from_ref(w));
+        let mut t = Tape::new();
+        let vw = t.param(w);
+        let shifted = t.add_scalar(vw, -3.0);
+        let loss = t.square(shifted);
+        let loss = t.sum_all(loss);
+        t.backward(loss);
+        opt.step(std::slice::from_ref(w));
+    }
+
+    #[test]
+    fn adam_export_import_resumes_trajectory_bitwise() {
+        let w1 = Param::new("w", Matrix::scalar(0.0));
+        let mut opt1 = Adam::new(0.1, 0.01);
+        for _ in 0..7 {
+            one_step(&mut opt1, &w1);
+        }
+        let snap = opt1.export_state(std::slice::from_ref(&w1));
+        let value_at_snap = w1.value();
+
+        // Fresh optimiser + parameter restored from the snapshot.
+        let w2 = Param::new("w", value_at_snap);
+        let mut opt2 = Adam::new(0.1, 0.01);
+        opt2.import_state(std::slice::from_ref(&w2), &snap);
+
+        for _ in 0..20 {
+            one_step(&mut opt1, &w1);
+            one_step(&mut opt2, &w2);
+        }
+        assert_eq!(
+            w1.value().as_slice(),
+            w2.value().as_slice(),
+            "resumed Adam diverged from the uninterrupted trajectory"
+        );
+    }
+
+    #[test]
+    fn adam_export_of_unstepped_params_is_zero() {
+        let w = Param::new("w", Matrix::zeros(2, 3));
+        let opt = Adam::new(0.1, 0.0);
+        let snap = opt.export_state(std::slice::from_ref(&w));
+        assert_eq!(snap.t, 0);
+        assert_eq!(snap.moments.len(), 1);
+        assert_eq!(snap.moments[0].0.as_slice(), &[0.0; 6]);
+        assert_eq!(snap.moments[0].1.as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn sgd_export_import_resumes_trajectory_bitwise() {
+        let w1 = Param::new("w", Matrix::scalar(0.0));
+        let mut opt1 = Sgd::new(0.05, 0.9, 0.0);
+        for _ in 0..5 {
+            one_step(&mut opt1, &w1);
+        }
+        let snap = opt1.export_state(std::slice::from_ref(&w1));
+        let w2 = Param::new("w", w1.value());
+        let mut opt2 = Sgd::new(0.05, 0.9, 0.0);
+        opt2.import_state(std::slice::from_ref(&w2), &snap);
+        for _ in 0..20 {
+            one_step(&mut opt1, &w1);
+            one_step(&mut opt2, &w2);
+        }
+        assert_eq!(w1.value().as_slice(), w2.value().as_slice());
     }
 
     #[test]

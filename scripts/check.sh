@@ -30,4 +30,22 @@ target/release/graphrare \
     --telemetry-out "$smoke_dir/events.jsonl"
 target/release/telemetry_lint "$smoke_dir/events.jsonl"
 
+echo "==> checkpoint/resume smoke (killed run must match uninterrupted run)"
+cargo build -q --release -p graphrare-bench --bin store_dump
+target/release/graphrare \
+    --input "$smoke_dir/toy" \
+    --steps 6 --seed 1 --quiet \
+    --checkpoint-every 2 --checkpoint-dir "$smoke_dir/ckpts" \
+    > "$smoke_dir/full.out"
+# Simulate a crash after step 4: drop the final checkpoint, resume, and
+# require byte-identical stdout.
+rm "$smoke_dir/ckpts/step-000006.grrs"
+target/release/graphrare \
+    --input "$smoke_dir/toy" \
+    --steps 6 --seed 1 --quiet \
+    --checkpoint-every 2 --checkpoint-dir "$smoke_dir/ckpts" --resume \
+    > "$smoke_dir/resumed.out"
+diff "$smoke_dir/full.out" "$smoke_dir/resumed.out"
+target/release/store_dump "$smoke_dir/ckpts/step-000006.grrs"
+
 echo "All checks passed."
