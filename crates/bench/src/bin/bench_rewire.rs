@@ -1,0 +1,316 @@
+//! Incremental-rewiring benchmark: times the Algorithm-1 hot path —
+//! per-step rewire + propagation-operator refresh + homophily — through
+//! the reference full-rebuild pipeline (`TopologyOptimizer::materialize`
+//! plus a fresh `GraphTensors`) and through the persistent
+//! [`graphrare::rewire::RewiredGraph`], and writes `BENCH_rewire.json`.
+//!
+//! ```text
+//! bench_rewire [--quick] [--check-only] [--output BENCH_rewire.json]
+//! ```
+//!
+//! Every run first replays the whole action trace once with *both*
+//! engines in lock-step and asserts bit-identical results (edge sets,
+//! edge counts, homophily bits, `gcn_norm` rows); a mismatch exits
+//! non-zero, which is what `scripts/check.sh` relies on for its smoke.
+//! `--quick` shrinks the graphs for that smoke; `--check-only` skips the
+//! timed passes entirely.
+//!
+//! Graphs are heterophilic by construction (target homophily 0.15, the
+//! regime GraphRARE targets) so deletion prefixes are non-trivial and
+//! the "never isolate an endpoint" guard is exercised.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use graphrare_telemetry as telemetry;
+
+use graphrare::rewire::RewiredGraph;
+use graphrare::topology::{EditMode, TopologyOptimizer};
+use graphrare::TopoState;
+use graphrare_datasets::{generate_spec, DatasetSpec};
+use graphrare_entropy::{
+    CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+};
+use graphrare_gnn::GraphTensors;
+use graphrare_graph::metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct SizeRecord {
+    regime: &'static str,
+    n: usize,
+    edges: usize,
+    steps: usize,
+    full_ns_per_step: u128,
+    incremental_ns_per_step: u128,
+}
+
+/// Median total wall time of `runs` full replays of `f`.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn heterophilic_spec(n: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "synthetic-hetero",
+        num_nodes: n,
+        num_edges: 4 * n,
+        feat_dim: 32,
+        num_classes: 5,
+        homophily: 0.15,
+        degree_exponent: 0.25,
+        feature_signal: 6.0,
+        feature_density: 0.05,
+    }
+}
+
+struct Instance {
+    topo: TopologyOptimizer,
+    /// Per-step ±1 action vectors, the driver's access pattern.
+    trace: Vec<Vec<u8>>,
+}
+
+/// Two per-step action distributions:
+/// * `dense` — every counter draws a uniform action, the exploration
+///   phase of PPO where most of the 2N counters move each step;
+/// * `sparse` — ~2% of the nodes act, the converged-policy regime where
+///   the policy holds almost everywhere. Incremental rewiring is O(changed
+///   nodes), so this is where the asymptotic win shows.
+#[derive(Clone, Copy, PartialEq)]
+enum Regime {
+    Dense,
+    Sparse,
+}
+
+impl Regime {
+    fn name(self) -> &'static str {
+        match self {
+            Regime::Dense => "dense",
+            Regime::Sparse => "sparse",
+        }
+    }
+}
+
+fn build_instance(n: usize, steps: usize, seed: u64, regime: Regime) -> Instance {
+    let g = generate_spec(&heterophilic_spec(n), seed);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let seqs = EntropySequences::build(
+        &g,
+        &table,
+        &SequenceConfig {
+            pool: CandidatePool::GlobalSample { per_node: 16, seed: seed ^ 0xBE7C },
+            max_additions: 8,
+        },
+    );
+    let topo = TopologyOptimizer::new(g, seqs, EditMode::Both);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    let trace = (0..steps)
+        .map(|_| match regime {
+            Regime::Dense => (0..2 * n).map(|_| rng.gen_range(0..3u8)).collect(),
+            Regime::Sparse => {
+                let mut actions = vec![1u8; 2 * n]; // action 1 = hold
+                for _ in 0..(n / 50).max(1) {
+                    let v = rng.gen_range(0..n);
+                    actions[2 * v] = rng.gen_range(0..3);
+                    actions[2 * v + 1] = rng.gen_range(0..3);
+                }
+                actions
+            }
+        })
+        .collect();
+    Instance { topo, trace }
+}
+
+fn fresh_state(topo: &TopologyOptimizer) -> TopoState {
+    TopoState::new(topo.k_bounds(6), topo.d_bounds(6))
+}
+
+/// Lock-step replay of both engines; returns an error message on the
+/// first divergence.
+fn verify(inst: &Instance) -> Result<(), String> {
+    let mut state = fresh_state(&inst.topo);
+    let mut rw = RewiredGraph::new(&inst.topo);
+    rw.tensors().gcn_norm();
+    for (i, actions) in inst.trace.iter().enumerate() {
+        state.apply(actions);
+        rw.apply(&inst.topo, &state);
+        let want = inst.topo.materialize(&state);
+        if rw.graph().edge_vec() != want.edge_vec() {
+            return Err(format!("step {i}: edge sets diverge"));
+        }
+        if rw.num_edges() != want.num_edges() {
+            return Err(format!("step {i}: edge counts diverge"));
+        }
+        if rw.homophily_ratio().to_bits() != metrics::homophily_ratio(&want).to_bits() {
+            return Err(format!("step {i}: homophily bits diverge"));
+        }
+        let fresh = GraphTensors::new(&want);
+        if *rw.tensors().gcn_norm() != *fresh.gcn_norm() {
+            return Err(format!("step {i}: gcn_norm diverges"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut output = PathBuf::from("BENCH_rewire.json");
+    let mut quick = false;
+    let mut check_only = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--check-only" => check_only = true,
+            "--output" => {
+                i += 1;
+                output = PathBuf::from(argv.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("usage: bench_rewire [--quick] [--check-only] [--output FILE]");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_rewire [--quick] [--check-only] [--output FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    telemetry::init_from_env();
+    telemetry::set_enabled(true);
+    let counter_base = telemetry::snapshot();
+
+    let sizes: &[(usize, Regime)] = if quick {
+        &[(300, Regime::Dense), (300, Regime::Sparse)]
+    } else {
+        &[
+            (500, Regime::Dense),
+            (500, Regime::Sparse),
+            (2_000, Regime::Dense),
+            (2_000, Regime::Sparse),
+            (5_000, Regime::Dense),
+            (5_000, Regime::Sparse),
+        ]
+    };
+    let steps = if quick { 8 } else { 20 };
+    let runs = if quick { 3 } else { 5 };
+
+    let mut records = Vec::new();
+    for &(n, regime) in sizes {
+        let inst = build_instance(n, steps, 7, regime);
+        let base_edges = inst.topo.base().num_edges();
+        let regime_name = regime.name();
+        telemetry::progress!(
+            "n={n} edges={base_edges} regime={regime_name}: verifying full-vs-incremental lock-step"
+        );
+        if let Err(e) = verify(&inst) {
+            eprintln!("bench_rewire: equivalence FAILED at n={n} regime={regime_name}: {e}");
+            std::process::exit(1);
+        }
+        if check_only {
+            records.push(SizeRecord {
+                regime: regime_name,
+                n,
+                edges: base_edges,
+                steps,
+                full_ns_per_step: 0,
+                incremental_ns_per_step: 0,
+            });
+            continue;
+        }
+
+        // Reference path: every step rebuilds the graph and its operators
+        // from scratch, exactly what RareDriver::step did before the
+        // incremental engine.
+        let full_total = median_ns(runs, || {
+            let mut state = fresh_state(&inst.topo);
+            for actions in &inst.trace {
+                state.apply(actions);
+                let g = inst.topo.materialize(&state);
+                let t = GraphTensors::new(&g);
+                std::hint::black_box(t.gcn_norm());
+                std::hint::black_box(metrics::homophily_ratio(&g));
+                std::hint::black_box(g.num_edges());
+            }
+        });
+
+        // Incremental path: one persistent engine absorbing per-step
+        // deltas. The engine is rebuilt per run (outside nothing is
+        // reused), so each sample covers the same trace from the same
+        // start state.
+        let inc_total = median_ns(runs, || {
+            let mut state = fresh_state(&inst.topo);
+            let mut rw = RewiredGraph::new(&inst.topo);
+            rw.tensors().gcn_norm();
+            for actions in &inst.trace {
+                state.apply(actions);
+                rw.apply(&inst.topo, &state);
+                std::hint::black_box(rw.tensors().gcn_norm());
+                std::hint::black_box(rw.homophily_ratio());
+                std::hint::black_box(rw.num_edges());
+            }
+        });
+
+        let full_ns_per_step = full_total / steps as u128;
+        let incremental_ns_per_step = inc_total / steps as u128;
+        let speedup = full_ns_per_step as f64 / incremental_ns_per_step.max(1) as f64;
+        telemetry::progress!(
+            "n={n:<6} {regime_name:<7} full {full_ns_per_step:>12} ns/step   incremental {incremental_ns_per_step:>10} ns/step   speedup {speedup:.1}x"
+        );
+        records.push(SizeRecord {
+            regime: regime_name,
+            n,
+            edges: base_edges,
+            steps,
+            full_ns_per_step,
+            incremental_ns_per_step,
+        });
+    }
+
+    let counters = telemetry::snapshot().since(&counter_base);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"rewire\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"check_only\": {check_only},");
+    let _ = writeln!(json, "  \"equivalence_checked\": true,");
+    json.push_str("  \"rewire_counters\": {");
+    let rewire_counters: Vec<_> =
+        counters.counters.iter().filter(|(name, _)| name.starts_with("rewire.")).collect();
+    for (i, (name, value)) in rewire_counters.iter().enumerate() {
+        json.push_str(if i == 0 { "\n" } else { ",\n" });
+        json.push_str("    ");
+        telemetry::escape_json_str(name, &mut json);
+        let _ = write!(json, ": {value}");
+    }
+    json.push_str("\n  },\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let speedup = r.full_ns_per_step as f64 / r.incremental_ns_per_step.max(1) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"regime\": \"{}\", \"n\": {}, \"base_edges\": {}, \"steps\": {}, \"full_ns_per_step\": {}, \"incremental_ns_per_step\": {}, \"speedup\": {:.2}}}{comma}",
+            r.regime, r.n, r.edges, r.steps, r.full_ns_per_step, r.incremental_ns_per_step, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&output, json) {
+        eprintln!("failed to write {}: {e}", output.display());
+        std::process::exit(1);
+    }
+    telemetry::progress!("wrote {}", output.display());
+}

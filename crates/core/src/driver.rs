@@ -23,6 +23,7 @@ use graphrare_gnn::TrainerState;
 
 use crate::config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
 use crate::reward::{PerfSnapshot, RewardKind};
+use crate::rewire::RewiredGraph;
 use crate::state::TopoState;
 use crate::topology::TopologyOptimizer;
 
@@ -252,6 +253,7 @@ pub struct RareDriver {
     num_classes: usize,
     want_auc: bool,
     topo: TopologyOptimizer,
+    rewired: RewiredGraph,
     model: Box<dyn GnnModel>,
     trainer: Trainer,
     agent: AgentBox,
@@ -346,6 +348,10 @@ impl RareDriver {
 
         let topo = TopologyOptimizer::new(graph.clone(), sequences, cfg.edit_mode);
         let state = TopoState::new(topo.k_bounds(cfg.k_cap), topo.d_bounds(cfg.k_cap));
+        // The persistent G_t: starts at the base graph (S_0) and is edited
+        // incrementally per step; its operator caches warm up here and are
+        // row-patched from then on.
+        let rewired = RewiredGraph::new(&topo);
 
         let model = build_model(backbone, graph.feat_dim(), num_classes, &cfg.model);
         let mut trainer = Trainer::new(model.as_ref(), &cfg.train);
@@ -360,7 +366,7 @@ impl RareDriver {
                 .u64("threads", graphrare_tensor::parallel::current_threads() as u64)
         });
 
-        let gt0 = GraphTensors::new(topo.base());
+        let gt0 = rewired.tensors();
         if !skip_warmup {
             // Warm-up on the original graph so the reward signal and the RL
             // loop's validation comparisons reflect a (near-)converged model.
@@ -369,8 +375,8 @@ impl RareDriver {
             let mut warm_snap = trainer.snapshot();
             let mut since = 0usize;
             for _ in 0..cfg.warmup_epochs {
-                trainer.train_epoch(model.as_ref(), &gt0, &labels, &split.train);
-                let val = evaluate(model.as_ref(), &gt0, &labels, &split.val);
+                trainer.train_epoch(model.as_ref(), gt0, &labels, &split.train);
+                let val = evaluate(model.as_ref(), gt0, &labels, &split.val);
                 if val.accuracy > warm_best {
                     warm_best = val.accuracy;
                     warm_snap = trainer.snapshot();
@@ -399,8 +405,8 @@ impl RareDriver {
             (PerfSnapshot { accuracy: 0.0, loss: 0.0, auc: 0.5 }, 0.0)
         } else {
             let prev =
-                perf_snapshot(model.as_ref(), &gt0, &labels, &split.train, num_classes, want_auc);
-            let val0 = evaluate(model.as_ref(), &gt0, &labels, &split.val);
+                perf_snapshot(model.as_ref(), gt0, &labels, &split.train, num_classes, want_auc);
+            let val0 = evaluate(model.as_ref(), gt0, &labels, &split.val);
             (prev, val0.accuracy)
         };
         let max_acc = prev.accuracy;
@@ -415,6 +421,7 @@ impl RareDriver {
             num_classes,
             want_auc,
             topo,
+            rewired,
             model,
             trainer,
             agent,
@@ -470,13 +477,13 @@ impl RareDriver {
         let features = self.state.features();
         let (actions, logp, value) = self.agent.act(&features);
         self.state.apply(&actions);
-        let g_t = self.topo.materialize(&self.state);
-        let gt = GraphTensors::new(&g_t);
+        self.rewired.apply(&self.topo, &self.state);
+        let gt = self.rewired.tensors();
 
         // Lines 9–13: evaluate; fine-tune on improvement.
         let cur = perf_snapshot(
             self.model.as_ref(),
-            &gt,
+            gt,
             &self.labels,
             &self.split.train,
             self.num_classes,
@@ -487,7 +494,7 @@ impl RareDriver {
             self.max_acc = cur.accuracy;
             self.trainer.train_epochs(
                 self.model.as_ref(),
-                &gt,
+                gt,
                 &self.labels,
                 &self.split.train,
                 self.cfg.finetune_epochs,
@@ -510,16 +517,16 @@ impl RareDriver {
         );
 
         // Traces + best-checkpoint tracking.
-        let val_eval = evaluate(self.model.as_ref(), &gt, &self.labels, &self.split.val);
-        let hom = metrics::homophily_ratio(&g_t);
-        let g_t_edges = g_t.num_edges();
+        let val_eval = evaluate(self.model.as_ref(), gt, &self.labels, &self.split.val);
+        let hom = self.rewired.homophily_ratio();
+        let g_t_edges = self.rewired.num_edges();
         self.traces.train_acc.push(self.prev.accuracy);
         self.traces.val_acc.push(val_eval.accuracy);
         self.traces.homophily.push(hom);
         if val_eval.accuracy > self.best_val {
             self.best_val = val_eval.accuracy;
             self.best_params = self.trainer.snapshot();
-            self.best_graph = g_t;
+            self.best_graph = self.rewired.graph().clone();
         }
 
         // One structured event per outer iteration. Emitted before the
@@ -614,7 +621,10 @@ impl RareDriver {
         // The terminal topology G_T carries the most accumulated rewiring
         // (homophily converges late, Fig. 6b); the mid-run best-val snapshot
         // often under-rewires because it was judged with a semi-trained model.
-        let final_graph = self.topo.materialize(&self.state);
+        // Resync first: an episodic reset at the end of the last step can
+        // postdate the last incremental apply.
+        self.rewired.apply(&self.topo, &self.state);
+        let final_graph = self.rewired.graph().clone();
         if final_graph.edge_vec() != self.best_graph.edge_vec() {
             candidates.push((final_graph, self.best_params.clone()));
         }
@@ -788,6 +798,9 @@ impl RareDriver {
         self.window_reward = snap.window_reward;
         self.window_steps = snap.window_steps as usize;
         self.step = snap.step as usize;
+        // Jump the persistent G_t to the restored counters so the next
+        // step's incremental apply starts from the right topology.
+        self.rewired.apply(&self.topo, &self.state);
         telemetry::emit_with(|| telemetry::Event::new("driver_restore").u64("step", snap.step));
         Ok(())
     }

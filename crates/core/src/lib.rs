@@ -12,6 +12,8 @@
 //!
 //! * [`state`] — the multi-discrete MDP state `S = [k, d]`.
 //! * [`topology`] — the topology optimisation module (Fig. 4).
+//! * [`rewire`] — incremental rewiring: the persistent `G_t` the driver
+//!   updates in `O(changed)` per step instead of rebuilding.
 //! * [`reward`] — Eq. 11 and the AUC-reward ablation.
 //! * [`config`] — all knobs of a run.
 //! * [`driver`] — Algorithm 1 end-to-end ([`run`]) and stepwise
@@ -41,6 +43,7 @@ pub mod config;
 pub mod driver;
 pub mod persist;
 pub mod reward;
+pub mod rewire;
 pub mod state;
 pub mod topology;
 pub mod variants;
@@ -51,6 +54,7 @@ pub use persist::{
     load_model, load_snapshot, resume_driver, save_checkpoint, save_model, ModelArtifact,
 };
 pub use reward::{PerfSnapshot, RewardKind};
+pub use rewire::{RewireDelta, RewiredGraph};
 pub use state::TopoState;
 pub use topology::{EditMode, TopologyOptimizer};
 pub use variants::{run_fixed_kd, run_plain, run_random_kd, VariantReport};

@@ -1,0 +1,604 @@
+//! Incremental rewiring: the Algorithm-1 hot path without full rebuilds.
+//!
+//! [`TopologyOptimizer::materialize`] reconstructs `G_t` from scratch —
+//! clone the base graph, replay every deletion and addition — and the
+//! driver then pays `GraphTensors::new` for fresh propagation operators.
+//! Both costs are `O(N + E)` (worse for the two-hop operator) even though
+//! one DRL step moves each per-node counter by at most one.
+//!
+//! [`RewiredGraph`] keeps the current `G_t` alive and applies only the
+//! *delta* between two [`TopoState`]s, updating the graph, the operator
+//! caches (row-wise, via [`GraphTensors::apply_edits`]) and the homophily
+//! numerator in `O(changed)` time. The contract is exactness: after
+//! `apply(topo, s)` the held graph is bit-identical to
+//! `topo.materialize(&s)` and every operator is bit-identical to a fresh
+//! build — enforced by the `rewire_equivalence` property suite.
+//!
+//! # Why the deletion pass is the hard part
+//!
+//! Additions are a set union of per-node top-`k_v` prefixes: order never
+//! matters, so per-edge reference counts track membership exactly.
+//! Deletions are different — `materialize` walks nodes in ascending order
+//! and skips a removal whenever it would isolate either endpoint *at that
+//! moment* (`degree > 1` on the evolving graph), which makes the outcome
+//! order- and state-dependent. Two facts restore incrementality:
+//!
+//! 1. The pass only ever *decrements* degrees. Call a node *risky* when
+//!    every one of its base edges is slated for deletion
+//!    (`r[x] == base_deg(x)` where `r[x]` counts distinct slated edges at
+//!    `x`). At any attempt on an edge incident to a non-risky `x`, at most
+//!    `r[x] − 1` of `x`'s edges are already gone, so
+//!    `degree(x) ≥ base_deg(x) − r[x] + 1 ≥ 2` and the guard factor at `x`
+//!    provably passes. Hence only edges with a risky endpoint can ever be
+//!    *kept* by the guard; every other slated edge is removed
+//!    unconditionally and pure refcount bookkeeping suffices.
+//! 2. The uncertain edges are resolved by a *localized* re-simulation:
+//!    replay, in `materialize`'s global order, only the deletion prefixes
+//!    of risky nodes and their base neighbours (every attempt on an
+//!    uncertain edge originates there), tracking degrees of risky nodes
+//!    alone. Guard outcomes are monotone within a pass (degrees never
+//!    increase), so each uncertain edge is decided at its first attempt.
+//!    Cost is `O(Σ_{v ∈ risky ∪ N(risky)} d_v)`, not `O(Σ d_v)`.
+//!
+//! The removed set is maintained as `slated ∖ kept` across transitions,
+//! and the final topology is plain set algebra,
+//! `G_t = (base ∖ removed) ∪ additions`, reconciled edge-by-edge against
+//! the live graph with idempotent edits.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use graphrare_gnn::GraphTensors;
+use graphrare_graph::{metrics, Graph};
+use graphrare_telemetry as telemetry;
+
+use crate::state::TopoState;
+use crate::topology::{EditMode, TopologyOptimizer};
+
+/// Packs an undirected edge into one key (smaller endpoint high).
+#[inline]
+fn edge_key(u: usize, v: usize) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+#[inline]
+fn unkey(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xffff_ffff) as usize)
+}
+
+/// What one [`RewiredGraph::apply`] changed on the live graph.
+#[derive(Clone, Debug, Default)]
+pub struct RewireDelta {
+    /// Edges added to the graph by this transition (sorted).
+    pub added: Vec<(usize, usize)>,
+    /// Edges removed from the graph by this transition (sorted).
+    pub removed: Vec<(usize, usize)>,
+    /// Whether the deletion pass had to be re-simulated (a node risked
+    /// isolation) instead of taking the pure refcount fast path.
+    pub resimulated: bool,
+}
+
+impl RewireDelta {
+    /// True when the transition left the graph untouched.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A persistent `G_t` with incrementally maintained operators.
+///
+/// Holds the graph produced by the *last applied* [`TopoState`] together
+/// with its [`GraphTensors`] operator cache and homophily numerator.
+/// [`apply`](RewiredGraph::apply) transitions to any other state — the
+/// driver's ±1 steps, an episodic reset, or an arbitrary checkpoint jump —
+/// touching only what changed. Always pass the same [`TopologyOptimizer`]
+/// the instance was created from; base graph and sequences are immutable
+/// for the lifetime of a run.
+pub struct RewiredGraph {
+    /// Applied per-node addition counts (mode-gated, sequence-truncated).
+    k: Vec<u16>,
+    /// Applied per-node deletion counts (mode-gated, sequence-truncated).
+    d: Vec<u16>,
+    /// Base-graph degrees (the deletion guard reasons about these).
+    base_deg: Vec<u32>,
+    /// Reference counts of edges selected by at least one top-`k` prefix.
+    add_ref: HashMap<u64, u32>,
+    /// Reference counts of edges slated for deletion (1 or 2: an edge can
+    /// be slated by both endpoints).
+    slated: HashMap<u64, u32>,
+    /// Per-node count of *distinct* slated edges.
+    r: Vec<u32>,
+    /// Nodes whose every base edge is slated — only they can trip the
+    /// isolation guard (ascending, for deterministic replay scoping).
+    risky: BTreeSet<usize>,
+    /// Edges of the base graph currently removed from the live graph;
+    /// invariant after every `apply`: `removed == slated ∖ kept`.
+    removed: HashSet<u64>,
+    /// Slated edges the isolation guard kept alive on the last transition
+    /// (always incident to a then-risky node; empty in the common case).
+    kept: BTreeSet<u64>,
+    /// Same-label edge count of the live graph (homophily numerator).
+    same_label: usize,
+    /// The live graph plus row-patched propagation operators.
+    tensors: GraphTensors,
+}
+
+impl RewiredGraph {
+    /// Starts at `S_0` (the base graph, no edits).
+    pub fn new(topo: &TopologyOptimizer) -> Self {
+        let base = topo.base();
+        let n = base.num_nodes();
+        Self {
+            k: vec![0; n],
+            d: vec![0; n],
+            base_deg: (0..n).map(|v| base.degree(v) as u32).collect(),
+            add_ref: HashMap::new(),
+            slated: HashMap::new(),
+            r: vec![0; n],
+            risky: BTreeSet::new(),
+            removed: HashSet::new(),
+            kept: BTreeSet::new(),
+            same_label: metrics::same_label_edges(base),
+            tensors: GraphTensors::new(base),
+        }
+    }
+
+    /// The live `G_t`.
+    pub fn graph(&self) -> &Graph {
+        self.tensors.graph()
+    }
+
+    /// The live operator cache (lazy per operator, row-patched on edits).
+    pub fn tensors(&self) -> &GraphTensors {
+        &self.tensors
+    }
+
+    /// Edge count of the live graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph().num_edges()
+    }
+
+    /// Edge homophily of the live graph; bit-identical to
+    /// [`metrics::homophily_ratio`] (same integer numerator, same division).
+    pub fn homophily_ratio(&self) -> f64 {
+        let m = self.graph().num_edges();
+        if m == 0 {
+            1.0
+        } else {
+            self.same_label as f64 / m as f64
+        }
+    }
+
+    #[inline]
+    fn is_risky(&self, x: usize) -> bool {
+        self.r[x] > 0 && self.r[x] >= self.base_deg[x]
+    }
+
+    /// Adjusts `r[x]` and the risky-node census together.
+    fn bump_r(&mut self, x: usize, up: bool) {
+        let was = self.is_risky(x);
+        if up {
+            self.r[x] += 1;
+        } else {
+            self.r[x] -= 1;
+        }
+        let now = self.is_risky(x);
+        if now && !was {
+            self.risky.insert(x);
+        } else if was && !now {
+            self.risky.remove(&x);
+        }
+    }
+
+    /// Localized replay of `materialize`'s deletion pass: decides which
+    /// *uncertain* slated edges (those with a risky endpoint) the
+    /// isolation guard keeps. Only the deletion prefixes of risky nodes
+    /// and their base neighbours are walked — every attempt on an
+    /// uncertain edge comes from one of them, certain-edge removals never
+    /// change a risky node's degree, and a non-risky endpoint's guard
+    /// factor always passes, so tracking risky degrees alone reproduces
+    /// the sequential pass exactly. Guard outcomes are monotone within a
+    /// pass (degrees only decrease), so the first attempt on an edge is
+    /// decisive and re-attempts are no-ops.
+    fn simulate_kept(&self, topo: &TopologyOptimizer) -> BTreeSet<u64> {
+        let seqs = topo.sequences();
+        let base = topo.base();
+        // Degrees of risky nodes on the evolving graph; membership in this
+        // map doubles as the risky test during replay.
+        let mut deg: HashMap<usize, u32> = HashMap::new();
+        let mut replay: BTreeSet<usize> = BTreeSet::new();
+        for &y in &self.risky {
+            deg.insert(y, self.base_deg[y]);
+            if self.d[y] > 0 {
+                replay.insert(y);
+            }
+            for u in base.neighbors(y) {
+                if self.d[u] > 0 {
+                    replay.insert(u);
+                }
+            }
+        }
+        let mut kept: BTreeSet<u64> = BTreeSet::new();
+        let mut removed: HashSet<u64> = HashSet::new();
+        for &v in &replay {
+            for &(u, _) in seqs.deletions(v).iter().take(self.d[v] as usize) {
+                let u = u as usize;
+                if !deg.contains_key(&v) && !deg.contains_key(&u) {
+                    continue; // certain edge: removed unconditionally
+                }
+                let key = edge_key(v, u);
+                if removed.contains(&key) || kept.contains(&key) {
+                    continue;
+                }
+                let dv = deg.get(&v).copied().unwrap_or(2);
+                let du = deg.get(&u).copied().unwrap_or(2);
+                if dv > 1 && du > 1 {
+                    removed.insert(key);
+                    if let Some(x) = deg.get_mut(&v) {
+                        *x -= 1;
+                    }
+                    if let Some(x) = deg.get_mut(&u) {
+                        *x -= 1;
+                    }
+                } else {
+                    kept.insert(key);
+                }
+            }
+        }
+        kept
+    }
+
+    /// Transitions the live graph from the last applied state to `state`,
+    /// mirroring `topo.materialize(state)` exactly while touching only the
+    /// changed per-node prefixes. Returns the edge-level delta.
+    pub fn apply(&mut self, topo: &TopologyOptimizer, state: &TopoState) -> RewireDelta {
+        let _span = telemetry::span("rewire.apply");
+        let n = self.base_deg.len();
+        assert_eq!(topo.base().num_nodes(), n, "optimizer/rewired node count mismatch");
+        assert_eq!(state.num_nodes(), n, "state size mismatch");
+        let mode = topo.mode();
+        let seqs = topo.sequences();
+
+        // Edges whose desired presence may have changed.
+        let mut candidates: Vec<u64> = Vec::new();
+        // Slated-set membership transitions (drive the deletion fast path).
+        let mut slated_in: Vec<u64> = Vec::new();
+        let mut slated_out: Vec<u64> = Vec::new();
+
+        for v in 0..n {
+            // Addition prefix delta: per-edge refcounts over the union of
+            // top-k prefixes; 0 <-> positive transitions are membership
+            // changes. Mirrors materialize's `.take(k)` truncation and
+            // RemoveOnly gating.
+            let new_k = if mode == EditMode::RemoveOnly {
+                0
+            } else {
+                state.k(v).min(seqs.additions(v).len())
+            };
+            let old_k = self.k[v] as usize;
+            if new_k != old_k {
+                let seq = seqs.additions(v);
+                if new_k > old_k {
+                    for &(u, _) in &seq[old_k..new_k] {
+                        let key = edge_key(v, u as usize);
+                        let c = self.add_ref.entry(key).or_insert(0);
+                        *c += 1;
+                        if *c == 1 {
+                            candidates.push(key);
+                        }
+                    }
+                } else {
+                    for &(u, _) in &seq[new_k..old_k] {
+                        let key = edge_key(v, u as usize);
+                        let c = self.add_ref.get_mut(&key).expect("addition refcount underflow");
+                        *c -= 1;
+                        if *c == 0 {
+                            self.add_ref.remove(&key);
+                            candidates.push(key);
+                        }
+                    }
+                }
+                self.k[v] = new_k as u16;
+            }
+
+            // Deletion prefix delta: slated refcounts plus the per-node
+            // distinct-incidence counters behind the risk census.
+            let new_d =
+                if mode == EditMode::AddOnly { 0 } else { state.d(v).min(seqs.deletions(v).len()) };
+            let old_d = self.d[v] as usize;
+            if new_d != old_d {
+                let seq = seqs.deletions(v);
+                if new_d > old_d {
+                    for &(u, _) in &seq[old_d..new_d] {
+                        let u = u as usize;
+                        let key = edge_key(v, u);
+                        let c = self.slated.entry(key).or_insert(0);
+                        *c += 1;
+                        let entered = *c == 1;
+                        if entered {
+                            slated_in.push(key);
+                            self.bump_r(v, true);
+                            self.bump_r(u, true);
+                        }
+                    }
+                } else {
+                    for &(u, _) in &seq[new_d..old_d] {
+                        let u = u as usize;
+                        let key = edge_key(v, u);
+                        let c = self.slated.get_mut(&key).expect("deletion refcount underflow");
+                        *c -= 1;
+                        let left = *c == 0;
+                        if left {
+                            self.slated.remove(&key);
+                            slated_out.push(key);
+                            self.bump_r(v, false);
+                            self.bump_r(u, false);
+                        }
+                    }
+                }
+                self.d[v] = new_d as u16;
+            }
+        }
+
+        // Resolve the removed set for the new deletion prefixes, keeping
+        // the invariant `removed == slated ∖ kept`. First sync every
+        // transitioned key to its *final* slated membership — a key can
+        // transition twice in one scan (leave one node's prefix, enter
+        // another's), so replaying the transient events in order would be
+        // wrong — then patch in the guard's verdict on uncertain edges.
+        for key in slated_in.into_iter().chain(slated_out) {
+            if self.slated.contains_key(&key) {
+                self.removed.insert(key);
+            } else {
+                self.removed.remove(&key);
+            }
+            candidates.push(key);
+        }
+        let resimulated = !self.risky.is_empty();
+        let kept_now = if resimulated { self.simulate_kept(topo) } else { BTreeSet::new() };
+        for &key in &kept_now {
+            if self.removed.remove(&key) {
+                candidates.push(key);
+            }
+        }
+        for &key in &self.kept {
+            if !kept_now.contains(&key)
+                && self.slated.contains_key(&key)
+                && self.removed.insert(key)
+            {
+                candidates.push(key);
+            }
+        }
+        self.kept = kept_now;
+
+        // Reconcile candidate edges against the live graph:
+        // present in G_t  <=>  selected for addition, or a surviving base
+        // edge. Candidates are sorted and deduplicated, so the delta lists
+        // are deterministic.
+        candidates.sort_unstable();
+        candidates.dedup();
+        let base = topo.base();
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        let mut removed_edges: Vec<(usize, usize)> = Vec::new();
+        for &key in &candidates {
+            let (u, v) = unkey(key);
+            let desired = self.add_ref.contains_key(&key)
+                || (base.has_edge(u, v) && !self.removed.contains(&key));
+            let current = self.tensors.graph().has_edge(u, v);
+            if desired && !current {
+                added.push((u, v));
+            } else if !desired && current {
+                removed_edges.push((u, v));
+            }
+        }
+
+        let g = self.tensors.graph();
+        for &(u, v) in &removed_edges {
+            if g.label(u) == g.label(v) {
+                self.same_label -= 1;
+            }
+        }
+        for &(u, v) in &added {
+            if g.label(u) == g.label(v) {
+                self.same_label += 1;
+            }
+        }
+        self.tensors.apply_edits(&removed_edges, &added);
+
+        telemetry::counter("rewire.applies", 1);
+        telemetry::counter("rewire.edges_added", added.len() as u64);
+        telemetry::counter("rewire.edges_removed", removed_edges.len() as u64);
+        if resimulated {
+            telemetry::counter("rewire.resimulations", 1);
+        } else {
+            telemetry::counter("rewire.fast_updates", 1);
+        }
+
+        RewireDelta { added, removed: removed_edges, resimulated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphrare_entropy::{
+        CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable,
+        SequenceConfig,
+    };
+    use graphrare_tensor::Matrix;
+
+    fn path_optimizer(mode: EditMode) -> TopologyOptimizer {
+        // Path 0-1-2-3-4-5; features make far nodes {0,5} similar.
+        let mut feats = Matrix::zeros(6, 2);
+        for v in [0usize, 5] {
+            feats.set(v, 0, 1.0);
+        }
+        for v in 1..5 {
+            feats.set(v, 1, 1.0);
+        }
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            feats,
+            vec![0, 1, 1, 1, 1, 0],
+            2,
+        );
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(
+            &g,
+            &table,
+            &SequenceConfig { pool: CandidatePool::RemoteRing { hops: 5 }, max_additions: 8 },
+        );
+        TopologyOptimizer::new(g, seqs, mode)
+    }
+
+    /// Full-strength equality check against the reference path.
+    fn assert_matches_materialize(rw: &RewiredGraph, topo: &TopologyOptimizer, state: &TopoState) {
+        let want = topo.materialize(state);
+        assert_eq!(rw.graph().edge_vec(), want.edge_vec(), "edge sets diverge");
+        assert_eq!(rw.num_edges(), want.num_edges());
+        assert_eq!(
+            rw.homophily_ratio().to_bits(),
+            metrics::homophily_ratio(&want).to_bits(),
+            "homophily diverges"
+        );
+        let fresh = GraphTensors::new(&want);
+        assert_eq!(*rw.tensors().gcn_norm(), *fresh.gcn_norm(), "gcn operator diverges");
+        assert_eq!(*rw.tensors().two_hop(), *fresh.two_hop(), "two-hop operator diverges");
+    }
+
+    #[test]
+    fn fresh_rewired_graph_is_base() {
+        let topo = path_optimizer(EditMode::Both);
+        let rw = RewiredGraph::new(&topo);
+        assert_eq!(rw.graph().edge_vec(), topo.base().edge_vec());
+        assert_eq!(rw.homophily_ratio().to_bits(), metrics::homophily_ratio(topo.base()).to_bits());
+    }
+
+    #[test]
+    fn additions_and_reversal() {
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        // Operators built up-front so every transition exercises patching.
+        rw.tensors().gcn_norm();
+        rw.tensors().two_hop();
+        let mut state = TopoState::new(topo.k_bounds(8), topo.d_bounds(8));
+        state.set_k(0, 2);
+        state.set_k(3, 1);
+        let delta = rw.apply(&topo, &state);
+        assert!(!delta.added.is_empty());
+        assert_matches_materialize(&rw, &topo, &state);
+        // Walk back down to S0.
+        state.set_k(0, 0);
+        state.set_k(3, 0);
+        let delta = rw.apply(&topo, &state);
+        assert!(delta.removed.len() >= delta.added.len());
+        assert_matches_materialize(&rw, &topo, &state);
+        assert_eq!(rw.graph().edge_vec(), topo.base().edge_vec());
+    }
+
+    #[test]
+    fn deletion_guard_cascade_is_exact() {
+        // On a path graph every interior deletion threatens a leaf: slating
+        // d(1) = d_max covers both of node 1's edges, making nodes 0 and 1
+        // risky, so the engine must fall back to simulation — and still
+        // match the sequential guard semantics bit for bit.
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        let n = topo.base().num_nodes();
+        let k_max = vec![0u16; n];
+        let d_max: Vec<u16> = (0..n).map(|v| topo.base().degree(v) as u16).collect();
+        let mut state = TopoState::new(k_max, d_max);
+        for v in 0..n {
+            state.set_d(v, state.d_max(v));
+        }
+        let delta = rw.apply(&topo, &state);
+        assert!(delta.resimulated, "guard-threatening trace must re-simulate");
+        assert_matches_materialize(&rw, &topo, &state);
+        // Releasing the deletions must recover the base graph through the
+        // resync branch (removed != slated on the previous transition).
+        state.reset();
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        assert_eq!(rw.graph().edge_vec(), topo.base().edge_vec());
+    }
+
+    #[test]
+    fn fast_path_used_when_no_isolation_risk() {
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        let mut state = TopoState::new(topo.k_bounds(8), topo.d_bounds(8));
+        // Node 2 slates one of two edges: every endpoint keeps a spare.
+        state.set_d(2, 1);
+        let delta = rw.apply(&topo, &state);
+        assert!(!delta.resimulated, "guard-free trace must take the fast path");
+        assert_eq!(delta.removed.len(), 1);
+        assert_matches_materialize(&rw, &topo, &state);
+    }
+
+    #[test]
+    fn add_only_mode_ignores_deletions() {
+        let topo = path_optimizer(EditMode::AddOnly);
+        let mut rw = RewiredGraph::new(&topo);
+        // Hand-built state with non-zero d: the mode gate must ignore it,
+        // exactly as materialize does.
+        let n = topo.base().num_nodes();
+        let mut state = TopoState::new(vec![4; n], vec![4; n]);
+        state.set_k(0, 1);
+        state.set_d(2, 1);
+        let delta = rw.apply(&topo, &state);
+        assert!(delta.removed.is_empty());
+        assert_matches_materialize(&rw, &topo, &state);
+    }
+
+    #[test]
+    fn remove_only_mode_ignores_additions() {
+        let topo = path_optimizer(EditMode::RemoveOnly);
+        let mut rw = RewiredGraph::new(&topo);
+        let n = topo.base().num_nodes();
+        let mut state = TopoState::new(vec![4; n], vec![4; n]);
+        state.set_k(0, 2);
+        state.set_d(2, 1);
+        let delta = rw.apply(&topo, &state);
+        assert!(delta.added.is_empty());
+        assert_matches_materialize(&rw, &topo, &state);
+    }
+
+    #[test]
+    fn arbitrary_state_jumps_converge() {
+        // Checkpoint restores jump counters arbitrarily; the engine must
+        // land on materialize's output regardless of the path taken.
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        let mut state = TopoState::new(topo.k_bounds(8), topo.d_bounds(8));
+        let jumps: &[&[(usize, usize, usize)]] = &[
+            &[(0, 3, 0), (5, 2, 0)],
+            &[(0, 0, 0), (2, 1, 1), (3, 0, 1)],
+            &[(1, 2, 0), (4, 1, 1)],
+            &[],
+        ];
+        for jump in jumps {
+            state.reset();
+            for &(v, k, d) in *jump {
+                state.set_k(v, k);
+                state.set_d(v, d);
+            }
+            rw.apply(&topo, &state);
+            assert_matches_materialize(&rw, &topo, &state);
+        }
+    }
+
+    #[test]
+    fn reapplying_same_state_is_a_noop() {
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        let mut state = TopoState::new(topo.k_bounds(8), topo.d_bounds(8));
+        state.set_k(1, 2);
+        state.set_d(2, 1);
+        rw.apply(&topo, &state);
+        let delta = rw.apply(&topo, &state);
+        assert!(delta.is_empty());
+        assert!(!delta.resimulated);
+        assert_matches_materialize(&rw, &topo, &state);
+    }
+}

@@ -59,7 +59,7 @@ impl TopologyOptimizer {
                 if self.mode == EditMode::RemoveOnly {
                     0
                 } else {
-                    self.sequences.max_k(v).min(cap) as u16
+                    bound_u16(self.sequences.max_k(v), cap)
                 }
             })
             .collect()
@@ -74,7 +74,7 @@ impl TopologyOptimizer {
                 if self.mode == EditMode::AddOnly {
                     0
                 } else {
-                    self.sequences.max_d(v).saturating_sub(1).min(cap) as u16
+                    bound_u16(self.sequences.max_d(v).saturating_sub(1), cap)
                 }
             })
             .collect()
@@ -113,6 +113,15 @@ impl TopologyOptimizer {
         }
         g
     }
+}
+
+/// `min(len, cap)` as a `u16` counter bound, saturating at `u16::MAX`
+/// instead of silently wrapping when a caller passes an oversized cap on a
+/// node with a very long sequence (`as u16` truncation would otherwise turn
+/// e.g. 65 536 into a bound of 0).
+#[inline]
+fn bound_u16(len: usize, cap: usize) -> u16 {
+    u16::try_from(len.min(cap)).unwrap_or(u16::MAX)
 }
 
 #[cfg(test)]
@@ -179,6 +188,27 @@ mod tests {
         assert_eq!(g.num_edges(), opt.base().num_edges() - 1);
         let removed = opt.sequences().deletions(2)[0].0 as usize;
         assert!(!g.has_edge(2, removed));
+    }
+
+    #[test]
+    fn bounds_saturate_instead_of_wrapping() {
+        // Sequence lengths (or caps) beyond u16::MAX must clamp, not wrap:
+        // 65_536 as u16 is 0, which would freeze the node's counter at 0.
+        assert_eq!(bound_u16(100_000, usize::MAX), u16::MAX);
+        assert_eq!(bound_u16(u16::MAX as usize + 1, usize::MAX), u16::MAX);
+        assert_eq!(bound_u16(100_000, 70_000), u16::MAX);
+        // In-range values are untouched.
+        assert_eq!(bound_u16(3, 10), 3);
+        assert_eq!(bound_u16(12, 10), 10);
+        assert_eq!(bound_u16(u16::MAX as usize, usize::MAX), u16::MAX);
+        // And an oversized cap through the public API stays well-formed.
+        let (opt, _) = setup(EditMode::Both);
+        let k = opt.k_bounds(usize::MAX);
+        let d = opt.d_bounds(usize::MAX);
+        for v in 0..opt.base().num_nodes() {
+            assert_eq!(k[v] as usize, opt.sequences().max_k(v));
+            assert_eq!(d[v] as usize, opt.sequences().max_d(v).saturating_sub(1));
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property suite: the incremental rewiring engine is bit-identical to the
+//! reference path (`TopologyOptimizer::materialize` + a fresh
+//! `GraphTensors`) over random graphs, random action traces and all three
+//! edit modes — including traces engineered to trip the deletion pass's
+//! "never isolate an endpoint" guard.
+
+use proptest::prelude::*;
+
+use graphrare::rewire::RewiredGraph;
+use graphrare::topology::{EditMode, TopologyOptimizer};
+use graphrare::TopoState;
+use graphrare_entropy::{
+    CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
+};
+use graphrare_gnn::GraphTensors;
+use graphrare_graph::{metrics, Graph};
+use graphrare_tensor::Matrix;
+
+/// Deterministic pseudo-features: enough variation for non-trivial entropy
+/// rankings without an RNG in the strategy.
+fn features(n: usize) -> Matrix {
+    Matrix::from_fn(n, 4, |r, c| ((r * 7 + c * 3 + r * c) % 5) as f32 / 4.0)
+}
+
+fn optimizer(n: usize, edges: &[(usize, usize)], mode: EditMode) -> TopologyOptimizer {
+    let labels: Vec<usize> = (0..n).map(|v| v % 3).collect();
+    let g = Graph::from_edges(n, edges, features(n), labels, 3);
+    let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+    let seqs = EntropySequences::build(
+        &g,
+        &table,
+        &SequenceConfig { pool: CandidatePool::RemoteRing { hops: 3 }, max_additions: 8 },
+    );
+    TopologyOptimizer::new(g, seqs, mode)
+}
+
+fn mode_of(idx: u8) -> EditMode {
+    match idx % 3 {
+        0 => EditMode::Both,
+        1 => EditMode::AddOnly,
+        _ => EditMode::RemoveOnly,
+    }
+}
+
+/// The full equivalence contract for one state: graph, edge count,
+/// homophily bits and all four propagation operators.
+fn assert_equivalent(rw: &RewiredGraph, topo: &TopologyOptimizer, state: &TopoState) {
+    let want = topo.materialize(state);
+    assert_eq!(rw.graph().edge_vec(), want.edge_vec(), "edge sets diverge");
+    assert_eq!(rw.num_edges(), want.num_edges(), "edge counts diverge");
+    assert_eq!(
+        rw.homophily_ratio().to_bits(),
+        metrics::homophily_ratio(&want).to_bits(),
+        "homophily bits diverge"
+    );
+    let fresh = GraphTensors::new(&want);
+    assert_eq!(*rw.tensors().gcn_norm(), *fresh.gcn_norm(), "gcn_norm diverges");
+    assert_eq!(*rw.tensors().row_norm(), *fresh.row_norm(), "row_norm diverges");
+    assert_eq!(*rw.tensors().two_hop(), *fresh.two_hop(), "two_hop diverges");
+    assert_eq!(*rw.tensors().attention(), *fresh.attention(), "attention diverges");
+}
+
+/// Drives one engine through a trace of ±1 action vectors (the driver's
+/// access pattern), checking the contract after every transition.
+fn run_trace(
+    topo: &TopologyOptimizer,
+    mut state: TopoState,
+    trace: &[Vec<u8>],
+    reset_every: usize,
+) {
+    let mut rw = RewiredGraph::new(topo);
+    // Build all operators up-front so each step exercises row patching.
+    rw.tensors().gcn_norm();
+    rw.tensors().row_norm();
+    rw.tensors().two_hop();
+    rw.tensors().attention();
+    for (i, actions) in trace.iter().enumerate() {
+        state.apply(actions);
+        rw.apply(topo, &state);
+        assert_equivalent(&rw, topo, &state);
+        if reset_every > 0 && (i + 1) % reset_every == 0 {
+            // Episodic reset: the next apply must absorb the jump to S0.
+            state.reset();
+        }
+    }
+    // Resync after a possibly trailing reset, like the driver's finish().
+    rw.apply(topo, &state);
+    assert_equivalent(&rw, topo, &state);
+}
+
+/// `(n, edges, mode, trace, reset_every)` — one random replay instance.
+type Instance = (usize, Vec<(usize, usize)>, u8, Vec<Vec<u8>>, usize);
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (8usize..24).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), n / 2..3 * n),
+            0u8..3,
+            proptest::collection::vec(proptest::collection::vec(0u8..3, 2 * n), 1..8),
+            0usize..4,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random graphs x random ±1 action traces x all edit modes, with the
+    /// driver's bounds (`d_bounds` keeps one neighbour per ego node but
+    /// neighbours' deletions can still cascade into the guard).
+    #[test]
+    fn incremental_matches_materialize((n, edges, mode_idx, trace, reset_every) in arb_instance()) {
+        let mode = mode_of(mode_idx);
+        let topo = optimizer(n, &edges, mode);
+        let state = TopoState::new(topo.k_bounds(6), topo.d_bounds(6));
+        run_trace(&topo, state, &trace, reset_every);
+    }
+
+    /// Guard-heavy variant: `d` bounds cover every neighbour (more than the
+    /// driver ever allows), so deletion traces routinely threaten to
+    /// isolate degree-1 endpoints and force the sequential-guard
+    /// re-simulation path.
+    #[test]
+    fn guard_cascades_match_materialize((n, edges, _, trace, reset_every) in arb_instance()) {
+        let topo = optimizer(n, &edges, EditMode::Both);
+        let base = topo.base();
+        let k_max = topo.k_bounds(6);
+        let d_max: Vec<u16> = (0..n).map(|v| base.degree(v) as u16).collect();
+        let state = TopoState::new(k_max, d_max);
+        run_trace(&topo, state, &trace, reset_every);
+    }
+}
+
+/// Arbitrary counter jumps (checkpoint restores) rather than ±1 walks.
+#[test]
+fn checkpoint_jumps_match_materialize() {
+    let edges: Vec<(usize, usize)> =
+        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4), (6, 0), (7, 6)];
+    let topo = optimizer(8, &edges, EditMode::Both);
+    let base = topo.base();
+    let k_max = topo.k_bounds(8);
+    let d_max: Vec<u16> = (0..8).map(|v| base.degree(v) as u16).collect();
+    let mut state = TopoState::new(k_max, d_max);
+    let mut rw = RewiredGraph::new(&topo);
+    rw.tensors().gcn_norm();
+    rw.tensors().two_hop();
+    let jumps: &[&[(usize, usize, usize)]] = &[
+        &[(0, 2, 1), (3, 1, 0), (6, 0, 1)],
+        &[(0, 0, 3), (1, 0, 2), (2, 0, 2), (7, 0, 1)], // deletion-heavy: guards fire
+        &[(4, 3, 0), (5, 2, 0)],
+        &[],
+        &[(0, 1, 1), (1, 1, 1), (2, 1, 1), (3, 1, 1), (4, 1, 1), (5, 1, 1)],
+    ];
+    for jump in jumps {
+        state.reset();
+        for &(v, k, d) in *jump {
+            state.set_k(v, k);
+            state.set_d(v, d);
+        }
+        rw.apply(&topo, &state);
+        assert_equivalent(&rw, &topo, &state);
+    }
+}

@@ -264,12 +264,9 @@ mod tests {
         // Rankings of pairs by entropy must agree.
         let pairs = [(0, 1), (0, 2), (1, 2), (2, 3)];
         let mut by_exact = pairs;
-        by_exact
-            .sort_by(|a, b| exact.entropy(a.0, a.1).partial_cmp(&exact.entropy(b.0, b.1)).unwrap());
+        by_exact.sort_by(|a, b| exact.entropy(a.0, a.1).total_cmp(&exact.entropy(b.0, b.1)));
         let mut by_sampled = pairs;
-        by_sampled.sort_by(|a, b| {
-            sampled.entropy(a.0, a.1).partial_cmp(&sampled.entropy(b.0, b.1)).unwrap()
-        });
+        by_sampled.sort_by(|a, b| sampled.entropy(a.0, a.1).total_cmp(&sampled.entropy(b.0, b.1)));
         assert_eq!(by_exact, by_sampled);
     }
 

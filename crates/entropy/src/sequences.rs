@@ -79,8 +79,11 @@ impl EntropySequences {
         // Descending entropy; node id breaks ties deterministically. Ids
         // are unique within a pool, so this is a strict total order and
         // unstable sorting/selection cannot reorder "equal" elements.
+        // `total_cmp` keeps the order total even when degenerate features
+        // drive an entropy to NaN (NaN ranks above every finite value in
+        // descending order — deterministic, never a panic).
         let by_entropy_desc =
-            |a: &(u32, f32), b: &(u32, f32)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
+            |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
         let per_node: Vec<(Ranking, Ranking)> = graphrare_tensor::parallel::par_map(n, |v| {
             let candidates: Vec<usize> = match cfg.pool {
                 CandidatePool::RemoteRing { hops } => traversal::remote_ring(g, v, hops),
@@ -104,7 +107,7 @@ impl EntropySequences {
                 g.neighbors(v).map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
             // Ascending entropy: least-related first; ids ascending
             // on ties, same as the addition ranking.
-            dels.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            dels.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             (ranked, dels)
         });
         let (additions, deletions) = per_node.into_iter().unzip();
@@ -171,6 +174,13 @@ impl EntropySequences {
 
 /// Uniform sample (without replacement) of up to `count` nodes that are
 /// neither `v` nor its current neighbours.
+///
+/// Rejection sampling is capped at `count * 20` attempts so a dense
+/// neighbourhood cannot spin forever; when the cap trips with eligible
+/// nodes still unsampled (near-complete graphs), a deterministic sweep
+/// over the remaining ids tops the sample up, so the function returns
+/// exactly `min(count, eligible)` candidates instead of silently
+/// under-sampling.
 fn sample_non_neighbors(g: &Graph, v: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
     let n = g.num_nodes();
     let mut out = Vec::with_capacity(count);
@@ -183,6 +193,17 @@ fn sample_non_neighbors(g: &Graph, v: usize, count: usize, rng: &mut StdRng) -> 
             continue;
         }
         out.push(u);
+    }
+    if out.len() < count {
+        for u in 0..n {
+            if out.len() == count {
+                break;
+            }
+            if u == v || g.has_edge(v, u) || tried.contains(&u) {
+                continue;
+            }
+            out.push(u);
+        }
     }
     out
 }
@@ -286,6 +307,65 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn non_finite_entropies_sort_without_panicking() {
+        // An infinite feature against a zero row drives the pair softmax
+        // to NaN (0 x inf inside the dot product), which used to panic the
+        // `partial_cmp(..).unwrap()` ranking comparators. `total_cmp`
+        // keeps the order total: the build must succeed and still cover
+        // every neighbour / candidate deterministically.
+        let mut feats = Matrix::zeros(4, 2);
+        feats.set(0, 0, f32::INFINITY);
+        feats.set(3, 0, 1.0);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], feats, vec![0, 1, 0, 1], 2);
+        let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(
+            &g,
+            &table,
+            &SequenceConfig { pool: CandidatePool::RemoteRing { hops: 3 }, max_additions: 8 },
+        );
+        for v in 0..g.num_nodes() {
+            assert_eq!(seqs.max_d(v), g.degree(v), "deletion list of {v} lost neighbours");
+        }
+        // Building twice yields the same ranking: NaN ordering is total.
+        let again = EntropySequences::build(
+            &g,
+            &table,
+            &SequenceConfig { pool: CandidatePool::RemoteRing { hops: 3 }, max_additions: 8 },
+        );
+        for v in 0..g.num_nodes() {
+            let ids =
+                |s: &EntropySequences| s.additions(v).iter().map(|&(u, _)| u).collect::<Vec<_>>();
+            assert_eq!(ids(&seqs), ids(&again));
+        }
+    }
+
+    #[test]
+    fn sample_non_neighbors_tops_up_on_near_complete_graph() {
+        // Node 0 is adjacent to all but two of 200 nodes: the rejection
+        // cap (count * 20 draws) almost never finds both eligible ids, so
+        // the deterministic sweep must top the sample up.
+        let n = 200;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !(u == 0 && (v == 57 || v == 133)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges, Matrix::zeros(n, 1), vec![0; n], 1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut got = sample_non_neighbors(&g, 0, 2, &mut rng);
+        got.sort_unstable();
+        assert_eq!(got, vec![57, 133]);
+        // Asking for more than exist returns exactly the eligible set.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut all = sample_non_neighbors(&g, 0, 10, &mut rng);
+        all.sort_unstable();
+        assert_eq!(all, vec![57, 133]);
     }
 
     #[test]

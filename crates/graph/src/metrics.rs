@@ -2,6 +2,13 @@
 
 use crate::graph::Graph;
 
+/// Number of edges whose endpoints share a label — the numerator of
+/// [`homophily_ratio`]. Exposed so incremental topology trackers can seed
+/// a counter once and update it per edit instead of rescanning every edge.
+pub fn same_label_edges(g: &Graph) -> usize {
+    g.edges().filter(|&(u, v)| g.label(u) == g.label(v)).count()
+}
+
 /// Edge homophily ratio `H` (Eq. 1 of the paper, following Zhu et al. 2020):
 /// the fraction of edges whose endpoints share a label. Returns `1.0` for a
 /// graph without edges (the vacuous case).
@@ -9,8 +16,7 @@ pub fn homophily_ratio(g: &Graph) -> f64 {
     if g.num_edges() == 0 {
         return 1.0;
     }
-    let same = g.edges().filter(|&(u, v)| g.label(u) == g.label(v)).count();
-    same as f64 / g.num_edges() as f64
+    same_label_edges(g) as f64 / g.num_edges() as f64
 }
 
 /// Node homophily: mean over nodes of the fraction of same-label

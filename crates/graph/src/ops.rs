@@ -9,35 +9,64 @@ use graphrare_tensor::{AdjList, CsrMatrix};
 
 use crate::graph::Graph;
 
+#[inline]
+fn inv_sqrt_deg(g: &Graph, v: usize) -> f32 {
+    1.0 / ((g.degree(v) + 1) as f32).sqrt()
+}
+
+/// One row of [`gcn_norm`], sorted by column: the diagonal self-loop entry
+/// plus one entry per neighbour, each `1/sqrt(d̂_v d̂_u)`. Exposed so
+/// incremental topology updates can rebuild only the rows an edit touched;
+/// by construction the row equals the full builder's.
+pub fn gcn_norm_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
+    let iv = inv_sqrt_deg(g, v);
+    let mut row = Vec::with_capacity(g.degree(v) + 1);
+    let mut self_placed = false;
+    for u in g.neighbors(v) {
+        if !self_placed && u > v {
+            row.push((v, iv * iv));
+            self_placed = true;
+        }
+        row.push((u, iv * inv_sqrt_deg(g, u)));
+    }
+    if !self_placed {
+        row.push((v, iv * iv));
+    }
+    row
+}
+
 /// Symmetric GCN normalisation `D̂^{-1/2} (A + I) D̂^{-1/2}` with self-loops
 /// (Kipf & Welling 2017), the operator used by GCN and as the default
 /// propagation matrix elsewhere.
 pub fn gcn_norm(g: &Graph) -> CsrMatrix {
-    let n = g.num_nodes();
-    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
-    let inv_sqrt: Vec<f32> = (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
-    for v in 0..n {
-        triplets.push((v, v, inv_sqrt[v] * inv_sqrt[v]));
-        for u in g.neighbors(v) {
-            triplets.push((v, u, inv_sqrt[v] * inv_sqrt[u]));
-        }
+    csr_from_rows(g.num_nodes(), |v| gcn_norm_row(g, v))
+}
+
+/// One row of [`row_norm_adj`], sorted by column (empty for isolated
+/// nodes). Row-rebuild counterpart used by incremental topology updates.
+pub fn row_norm_adj_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
+    let deg = g.degree(v);
+    if deg == 0 {
+        return Vec::new();
     }
-    CsrMatrix::from_triplets(n, n, &triplets)
+    let w = 1.0 / deg as f32;
+    g.neighbors(v).map(|u| (u, w)).collect()
 }
 
 /// Row-normalised adjacency `D^{-1} A` (mean aggregation without the ego
 /// node), used by GraphSAGE's mean aggregator and by H2GCN's hop operators.
 /// Isolated nodes get an all-zero row.
 pub fn row_norm_adj(g: &Graph) -> CsrMatrix {
-    let n = g.num_nodes();
-    let mut triplets = Vec::with_capacity(2 * g.num_edges());
+    csr_from_rows(g.num_nodes(), |v| row_norm_adj_row(g, v))
+}
+
+/// Assembles a square CSR matrix from per-row builders. Rows must come
+/// back sorted by column without duplicates (all builders in this module
+/// do), which makes the result identical to a `from_triplets` build.
+fn csr_from_rows(n: usize, row: impl Fn(usize) -> Vec<(usize, f32)>) -> CsrMatrix {
+    let mut triplets = Vec::new();
     for v in 0..n {
-        let deg = g.degree(v);
-        if deg == 0 {
-            continue;
-        }
-        let w = 1.0 / deg as f32;
-        for u in g.neighbors(v) {
+        for (u, w) in row(v) {
             triplets.push((v, u, w));
         }
     }
@@ -54,6 +83,27 @@ pub fn adjacency(g: &Graph) -> CsrMatrix {
         }
     }
     CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// One row of [`row_norm_two_hop`], sorted by column. Row-rebuild
+/// counterpart used by incremental topology updates.
+pub fn row_norm_two_hop_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
+    use std::collections::BTreeSet;
+    let mut ring: BTreeSet<usize> = BTreeSet::new();
+    for u in g.neighbors(v) {
+        for w in g.neighbors(u) {
+            ring.insert(w);
+        }
+    }
+    ring.remove(&v);
+    for u in g.neighbors(v) {
+        ring.remove(&u);
+    }
+    if ring.is_empty() {
+        return Vec::new();
+    }
+    let w = 1.0 / ring.len() as f32;
+    ring.into_iter().map(|r| (r, w)).collect()
 }
 
 /// Strict two-hop neighbourhood operator used by H2GCN: `N_2(v)` contains
@@ -133,11 +183,16 @@ pub fn gcn_norm_power(g: &Graph, k: usize, threshold: f32) -> CsrMatrix {
     current
 }
 
+/// One node's attention list (`{v} ∪ N_1(v)`, self first) as used by
+/// [`attention_lists`]. Row-rebuild counterpart for incremental updates.
+pub fn attention_row(g: &Graph, v: usize) -> Vec<usize> {
+    std::iter::once(v).chain(g.neighbors(v)).collect()
+}
+
 /// Neighbour lists with self-loops for GAT attention: node `i` attends over
 /// `{i} ∪ N_1(i)`.
 pub fn attention_lists(g: &Graph) -> AdjList {
-    let lists: Vec<Vec<usize>> =
-        (0..g.num_nodes()).map(|v| std::iter::once(v).chain(g.neighbors(v)).collect()).collect();
+    let lists: Vec<Vec<usize>> = (0..g.num_nodes()).map(|v| attention_row(g, v)).collect();
     AdjList::from_neighbor_lists(&lists)
 }
 
@@ -209,6 +264,24 @@ mod tests {
         let want = base.matmul(&base);
         let got = gcn_norm_power(&g, 2, 0.0).to_dense();
         assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    fn row_builders_match_full_builders() {
+        let g = triangle_plus_tail();
+        let gcn = gcn_norm(&g);
+        let row = row_norm_adj(&g);
+        let two = row_norm_two_hop(&g);
+        let attn = attention_lists(&g);
+        for v in 0..g.num_nodes() {
+            let gcn_row: Vec<(usize, f32)> = gcn.row_entries(v).collect();
+            assert_eq!(gcn_norm_row(&g, v), gcn_row, "gcn row {v}");
+            let rn_row: Vec<(usize, f32)> = row.row_entries(v).collect();
+            assert_eq!(row_norm_adj_row(&g, v), rn_row, "row-norm row {v}");
+            let th_row: Vec<(usize, f32)> = two.row_entries(v).collect();
+            assert_eq!(row_norm_two_hop_row(&g, v), th_row, "two-hop row {v}");
+            assert_eq!(attention_row(&g, v), attn.neighbors(v), "attention row {v}");
+        }
     }
 
     #[test]

@@ -226,6 +226,78 @@ impl CsrMatrix {
         true
     }
 
+    /// Returns a copy of the matrix with the listed rows replaced by new
+    /// `(column, value)` contents, splicing the CSR arrays in one pass.
+    ///
+    /// Unchanged rows are copied verbatim (`memcpy`-sized block copies),
+    /// which is what makes incremental operator updates — rebuild only the
+    /// rows a topology edit touched — cheaper than a full
+    /// [`CsrMatrix::from_triplets`] rebuild. The result is identical to
+    /// building the whole matrix from scratch with the same rows.
+    ///
+    /// `replacements` must be sorted by row index without duplicates, and
+    /// each row's entries must be sorted by column without duplicates.
+    ///
+    /// # Panics
+    /// Panics if a row or column index is out of bounds or the ordering
+    /// contract is violated.
+    pub fn with_rows_replaced(&self, replacements: &[(usize, Vec<(usize, f32)>)]) -> CsrMatrix {
+        for w in replacements.windows(2) {
+            assert!(w[0].0 < w[1].0, "replacement rows must be sorted and unique");
+        }
+        let mut new_nnz = self.nnz();
+        for (r, entries) in replacements {
+            assert!(*r < self.rows, "replacement row {r} out of bounds for {} rows", self.rows);
+            for w in entries.windows(2) {
+                assert!(w[0].0 < w[1].0, "row {r} entries must be sorted by column and unique");
+            }
+            if let Some(&(c, _)) = entries.last() {
+                assert!(c < self.cols, "column {c} out of bounds for {} cols", self.cols);
+            }
+            new_nnz = new_nnz - self.row_nnz(*r) + entries.len();
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(new_nnz);
+        let mut values = Vec::with_capacity(new_nnz);
+        row_ptr.push(0);
+        let mut next = replacements.iter().peekable();
+        let mut r = 0;
+        while r < self.rows {
+            if let Some(&&(rep_row, ref entries)) = next.peek() {
+                if rep_row == r {
+                    col_idx.extend(entries.iter().map(|&(c, _)| c));
+                    values.extend(entries.iter().map(|&(_, v)| v));
+                    row_ptr.push(col_idx.len());
+                    next.next();
+                    r += 1;
+                    continue;
+                }
+                // Copy the untouched span [r, rep_row) as one block.
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[rep_row];
+                col_idx.extend_from_slice(&self.col_idx[lo..hi]);
+                values.extend_from_slice(&self.values[lo..hi]);
+                let base = col_idx.len() - (hi - lo);
+                for rr in r..rep_row {
+                    row_ptr.push(base + self.row_ptr[rr + 1] - lo);
+                }
+                r = rep_row;
+            } else {
+                // Tail: no replacements left.
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[self.rows];
+                col_idx.extend_from_slice(&self.col_idx[lo..hi]);
+                values.extend_from_slice(&self.values[lo..hi]);
+                let base = col_idx.len() - (hi - lo);
+                for rr in r..self.rows {
+                    row_ptr.push(base + self.row_ptr[rr + 1] - lo);
+                }
+                r = self.rows;
+            }
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+
     /// Value at `(r, c)` if stored.
     pub fn get(&self, r: usize, c: usize) -> Option<f32> {
         let lo = self.row_ptr[r];
@@ -307,5 +379,31 @@ mod tests {
         let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
         assert!(sym.is_symmetric(1e-9));
         assert!(!sample().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn rows_replaced_matches_full_rebuild() {
+        let m = sample();
+        // Replace row 1 (grow) and row 2 (shrink to empty).
+        let got = m.with_rows_replaced(&[(1, vec![(0, 9.0), (2, 4.0)]), (2, vec![])]);
+        let want =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (0, 2, -1.0), (1, 0, 9.0), (1, 2, 4.0)]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rows_replaced_noop_and_all() {
+        let m = sample();
+        assert_eq!(m.with_rows_replaced(&[]), m);
+        let rows: Vec<(usize, Vec<(usize, f32)>)> =
+            (0..3).map(|r| (r, m.row_entries(r).collect())).collect();
+        assert_eq!(m.with_rows_replaced(&rows), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rows_replaced_rejects_unsorted_rows() {
+        let m = sample();
+        let _ = m.with_rows_replaced(&[(2, vec![]), (1, vec![])]);
     }
 }

@@ -68,6 +68,57 @@ impl AdjList {
     pub fn num_entries(&self) -> usize {
         self.targets.len()
     }
+
+    /// Returns a copy with the listed source nodes' neighbour lists
+    /// replaced, splicing the offset/target arrays in one pass (the
+    /// [`AdjList`] analogue of `CsrMatrix::with_rows_replaced`, used by
+    /// incremental topology updates).
+    ///
+    /// `replacements` must be sorted by node index without duplicates.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of bounds or the ordering contract is
+    /// violated.
+    pub fn with_rows_replaced(&self, replacements: &[(usize, Vec<usize>)]) -> AdjList {
+        for w in replacements.windows(2) {
+            assert!(w[0].0 < w[1].0, "replacement rows must be sorted and unique");
+        }
+        let n = self.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0);
+        let mut next = replacements.iter().peekable();
+        let mut i = 0;
+        while i < n {
+            match next.peek() {
+                Some(&&(row, ref list)) if row == i => {
+                    assert!(row < n, "replacement row {row} out of bounds for {n} nodes");
+                    targets.extend_from_slice(list);
+                    offsets.push(targets.len());
+                    next.next();
+                    i += 1;
+                }
+                other => {
+                    let stop = match other {
+                        Some(&&(row, _)) => {
+                            assert!(row < n, "replacement row {row} out of bounds for {n} nodes");
+                            row
+                        }
+                        None => n,
+                    };
+                    let lo = self.offsets[i];
+                    let hi = self.offsets[stop];
+                    targets.extend_from_slice(&self.targets[lo..hi]);
+                    let base = targets.len() - (hi - lo);
+                    for j in i..stop {
+                        offsets.push(base + self.offsets[j + 1] - lo);
+                    }
+                    i = stop;
+                }
+            }
+        }
+        AdjList { offsets, targets }
+    }
 }
 
 /// Handle to a node on a [`Tape`].
@@ -948,6 +999,15 @@ mod tests {
     use crate::gradcheck::check_grad;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn adjlist_rows_replaced_matches_rebuild() {
+        let al = AdjList::from_neighbor_lists(&[vec![0, 1, 2], vec![1, 0], vec![2, 1, 0]]);
+        let got = al.with_rows_replaced(&[(0, vec![0]), (2, vec![2, 0, 1, 1])]);
+        let want = AdjList::from_neighbor_lists(&[vec![0], vec![1, 0], vec![2, 0, 1, 1]]);
+        assert_eq!(got, want);
+        assert_eq!(al.with_rows_replaced(&[]), al);
+    }
 
     #[test]
     fn matmul_forward_and_grad() {

@@ -48,4 +48,10 @@ target/release/graphrare \
 diff "$smoke_dir/full.out" "$smoke_dir/resumed.out"
 target/release/store_dump "$smoke_dir/ckpts/step-000006.grrs"
 
+echo "==> incremental rewiring smoke (full vs incremental must be bit-identical)"
+cargo build -q --release -p graphrare-bench --bin bench_rewire
+# The binary lock-steps RewiredGraph against materialize + fresh tensors
+# over both action regimes and exits non-zero on any divergence.
+target/release/bench_rewire --quick --check-only --output "$smoke_dir/bench_rewire.json"
+
 echo "All checks passed."
