@@ -42,7 +42,7 @@ pub fn cosine_knn_edges(features: &Matrix, k: usize) -> Vec<(usize, usize)> {
                 sims.push((cosine(features.row(v), features.row(u)), u));
             }
         }
-        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(_, u) in sims.iter().take(k) {
             edges.insert((v.min(u), v.max(u)));
         }
@@ -147,7 +147,7 @@ pub fn geometric_bucket_operators(g: &Graph, seed: u64) -> (CsrMatrix, CsrMatrix
         }
         let mut ds: Vec<f32> = nbrs.iter().map(|&u| dist(v, u)).collect();
         let mut sorted = ds.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f32::total_cmp);
         let median = sorted[sorted.len() / 2];
         let mut near_nodes = Vec::new();
         let mut far_nodes = Vec::new();
@@ -228,7 +228,7 @@ pub fn similarity_rewire(g: &Graph, k_add: usize, d_del: usize) -> Graph {
         for v in 0..n {
             let mut nbrs: Vec<(f32, usize)> =
                 g.neighbors(v).map(|u| (cosine(feats.row(v), feats.row(u)), u)).collect();
-            nbrs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            nbrs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut removed = 0usize;
             for &(_, u) in &nbrs {
                 if removed == d_del {
@@ -249,7 +249,7 @@ pub fn similarity_rewire(g: &Graph, k_add: usize, d_del: usize) -> Graph {
                     sims.push((cosine(feats.row(v), feats.row(u)), u));
                 }
             }
-            sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            sims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
             for &(_, u) in sims.iter().take(k_add) {
                 out.add_edge(v, u);
             }
@@ -377,5 +377,27 @@ mod tests {
                 assert!(rewired.degree(v) >= 1, "node {v} fully disconnected");
             }
         }
+    }
+
+    #[test]
+    fn nan_features_do_not_panic_transforms() {
+        // A NaN feature row drives every cosine similarity (and latent
+        // distance) involving that node to NaN, which used to panic the
+        // `partial_cmp(..).unwrap()` comparators in `cosine_knn_edges`,
+        // `similarity_rewire` and the `geometric_bucket_operators`
+        // median. `total_cmp` keeps the orderings total and the outputs
+        // deterministic.
+        let mut feats = Matrix::zeros(4, 2);
+        feats.set(0, 0, f32::NAN);
+        feats.set(1, 0, 1.0);
+        feats.set(2, 1, 1.0);
+        feats.set(3, 0, 1.0);
+        assert_eq!(cosine_knn_edges(&feats, 1), cosine_knn_edges(&feats, 1));
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], feats, vec![0, 1, 0, 1], 2);
+        let rewired = similarity_rewire(&g, 1, 1);
+        assert!(rewired.num_edges() > 0);
+        let (near, far) = geometric_bucket_operators(&g, 3);
+        assert_eq!(near.rows(), 4);
+        assert_eq!(far.rows(), 4);
     }
 }

@@ -249,6 +249,7 @@ fn main() {
         // deltas. The engine is rebuilt per run (outside nothing is
         // reused), so each sample covers the same trace from the same
         // start state.
+        let pre_inc = telemetry::snapshot();
         let inc_total = median_ns(runs, || {
             let mut state = fresh_state(&inst.topo);
             let mut rw = RewiredGraph::new(&inst.topo);
@@ -261,6 +262,20 @@ fn main() {
                 std::hint::black_box(rw.num_edges());
             }
         });
+
+        // Where the incremental path spends its time, summed over all
+        // timed replays of this size/regime (the `rewire.apply` total is
+        // the whole engine; the sub-spans partition it).
+        for s in telemetry::snapshot().since(&pre_inc).spans {
+            if s.name.starts_with("rewire.") {
+                telemetry::progress!(
+                    "    {:<20} count {:>5}  total {:>8.2} ms",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6
+                );
+            }
+        }
 
         let full_ns_per_step = full_total / steps as u128;
         let incremental_ns_per_step = inc_total / steps as u128;

@@ -1,0 +1,105 @@
+//! Multiply-rotate hashing for the rewiring hot path.
+//!
+//! The incremental engine keeps several `HashMap`s / `HashSet`s keyed by
+//! packed `u64` edge keys and node indices, and touches them thousands of
+//! times per rewiring step. `std`'s default SipHash is DoS-resistant but
+//! slow for 8-byte keys; these tables are process-internal (never fed
+//! attacker-controlled keys), so a Fx-style multiply-rotate hash is the
+//! right trade. The hasher is deterministic, which also keeps replay and
+//! resume behaviour reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (a 64-bit
+/// truncation of pi's hex expansion times 2^62).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word multiply-rotate hasher (the rustc "FxHasher" recipe).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let build = FxBuildHasher::default();
+        let a = build.hash_one(0xdead_beef_u64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beef_u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * k, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * k)), Some(&(k as u32)));
+        }
+        let mut s: FxHashSet<usize> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

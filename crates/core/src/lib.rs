@@ -41,6 +41,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod fxmap;
 pub mod persist;
 pub mod reward;
 pub mod rewire;

@@ -44,27 +44,32 @@
 //! and the final topology is plain set algebra,
 //! `G_t = (base ∖ removed) ∪ additions`, reconciled edge-by-edge against
 //! the live graph with idempotent edits.
+//!
+//! # Kept-cache
+//!
+//! The localized replay itself is memoised per *risky component* — a
+//! connected component of the base graph restricted to risky nodes.
+//! Components are independent: an uncertain edge has at least one risky
+//! endpoint; if both endpoints are risky they are base-adjacent and hence
+//! in the same component, and a non-risky replay node's guard factor
+//! always passes, so nothing couples two components' verdicts. Each
+//! component's verdict depends only on its member set and the deletion
+//! prefixes of `members ∪ N(members)`, so a cache entry keyed by the
+//! component's smallest member and validated against a `(node, d)`
+//! snapshot of exactly those nodes can be reused across transitions that
+//! leave the component untouched — the common case when the DRL agent
+//! edits one node's counters at a time.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
+use graphrare_entropy::EntropySequences;
 use graphrare_gnn::GraphTensors;
-use graphrare_graph::{metrics, Graph};
+use graphrare_graph::{edge_key, metrics, unkey, Graph};
 use graphrare_telemetry as telemetry;
 
+use crate::fxmap::{FxHashMap, FxHashSet};
 use crate::state::TopoState;
 use crate::topology::{EditMode, TopologyOptimizer};
-
-/// Packs an undirected edge into one key (smaller endpoint high).
-#[inline]
-fn edge_key(u: usize, v: usize) -> u64 {
-    let (a, b) = if u < v { (u, v) } else { (v, u) };
-    ((a as u64) << 32) | b as u64
-}
-
-#[inline]
-fn unkey(key: u64) -> (usize, usize) {
-    ((key >> 32) as usize, (key & 0xffff_ffff) as usize)
-}
 
 /// What one [`RewiredGraph::apply`] changed on the live graph.
 #[derive(Clone, Debug, Default)]
@@ -85,6 +90,17 @@ impl RewireDelta {
     }
 }
 
+/// One memoised risky-component verdict (see the module docs).
+struct KeptEntry {
+    /// Ascending risky members of the component.
+    members: Vec<usize>,
+    /// `(node, d)` snapshot of `members ∪ N(members)` — everything the
+    /// replay's outcome can depend on besides the immutable sequences.
+    dsnap: Vec<(usize, u16)>,
+    /// Sorted kept edge keys the guard decided for this component.
+    kept: Vec<u64>,
+}
+
 /// A persistent `G_t` with incrementally maintained operators.
 ///
 /// Holds the graph produced by the *last applied* [`TopoState`] together
@@ -102,10 +118,10 @@ pub struct RewiredGraph {
     /// Base-graph degrees (the deletion guard reasons about these).
     base_deg: Vec<u32>,
     /// Reference counts of edges selected by at least one top-`k` prefix.
-    add_ref: HashMap<u64, u32>,
+    add_ref: FxHashMap<u64, u32>,
     /// Reference counts of edges slated for deletion (1 or 2: an edge can
     /// be slated by both endpoints).
-    slated: HashMap<u64, u32>,
+    slated: FxHashMap<u64, u32>,
     /// Per-node count of *distinct* slated edges.
     r: Vec<u32>,
     /// Nodes whose every base edge is slated — only they can trip the
@@ -113,10 +129,12 @@ pub struct RewiredGraph {
     risky: BTreeSet<usize>,
     /// Edges of the base graph currently removed from the live graph;
     /// invariant after every `apply`: `removed == slated ∖ kept`.
-    removed: HashSet<u64>,
+    removed: FxHashSet<u64>,
     /// Slated edges the isolation guard kept alive on the last transition
     /// (always incident to a then-risky node; empty in the common case).
     kept: BTreeSet<u64>,
+    /// Memoised per-component replay verdicts, keyed by smallest member.
+    kept_cache: FxHashMap<usize, KeptEntry>,
     /// Same-label edge count of the live graph (homophily numerator).
     same_label: usize,
     /// The live graph plus row-patched propagation operators.
@@ -132,12 +150,13 @@ impl RewiredGraph {
             k: vec![0; n],
             d: vec![0; n],
             base_deg: (0..n).map(|v| base.degree(v) as u32).collect(),
-            add_ref: HashMap::new(),
-            slated: HashMap::new(),
+            add_ref: FxHashMap::default(),
+            slated: FxHashMap::default(),
             r: vec![0; n],
             risky: BTreeSet::new(),
-            removed: HashSet::new(),
+            removed: FxHashSet::default(),
             kept: BTreeSet::new(),
+            kept_cache: FxHashMap::default(),
             same_label: metrics::same_label_edges(base),
             tensors: GraphTensors::new(base),
         }
@@ -200,40 +219,93 @@ impl RewiredGraph {
     /// the sequential pass exactly. Guard outcomes are monotone within a
     /// pass (degrees only decrease), so the first attempt on an edge is
     /// decisive and re-attempts are no-ops.
-    fn simulate_kept(&self, topo: &TopologyOptimizer) -> BTreeSet<u64> {
+    /// Decomposed per risky component (see the module docs) and memoised:
+    /// a component whose member set and replay-prefix snapshot are
+    /// unchanged since its last replay reuses the cached verdict.
+    fn simulate_kept(&mut self, topo: &TopologyOptimizer) -> BTreeSet<u64> {
         let seqs = topo.sequences();
         let base = topo.base();
-        // Degrees of risky nodes on the evolving graph; membership in this
-        // map doubles as the risky test during replay.
-        let mut deg: HashMap<usize, u32> = HashMap::new();
-        let mut replay: BTreeSet<usize> = BTreeSet::new();
-        for &y in &self.risky {
-            deg.insert(y, self.base_deg[y]);
-            if self.d[y] > 0 {
-                replay.insert(y);
+        let mut kept_all: BTreeSet<u64> = BTreeSet::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut visited: FxHashSet<usize> = FxHashSet::default();
+        let risky: Vec<usize> = self.risky.iter().copied().collect();
+        for &start in &risky {
+            if visited.contains(&start) {
+                continue;
             }
-            for u in base.neighbors(y) {
-                if self.d[u] > 0 {
-                    replay.insert(u);
+            // BFS over risky nodes only: the component's members.
+            let mut members = vec![start];
+            visited.insert(start);
+            let mut qi = 0;
+            while qi < members.len() {
+                let y = members[qi];
+                qi += 1;
+                for u in base.neighbors(y) {
+                    if self.risky.contains(&u) && visited.insert(u) {
+                        members.push(u);
+                    }
                 }
             }
+            members.sort_unstable();
+            // Everything the verdict depends on: the deletion-prefix
+            // lengths of members and their base neighbours (a node with
+            // `d == 0` contributes no attempts, but its snapshot entry
+            // still invalidates the cache when it starts contributing).
+            let mut snap_nodes: Vec<usize> = members.clone();
+            for &y in &members {
+                snap_nodes.extend(base.neighbors(y));
+            }
+            snap_nodes.sort_unstable();
+            snap_nodes.dedup();
+            let dsnap: Vec<(usize, u16)> = snap_nodes.into_iter().map(|v| (v, self.d[v])).collect();
+            let cache_key = members[0];
+            if let Some(entry) = self.kept_cache.get(&cache_key) {
+                if entry.members == members && entry.dsnap == dsnap {
+                    hits += 1;
+                    kept_all.extend(entry.kept.iter().copied());
+                    continue;
+                }
+            }
+            misses += 1;
+            let kept = Self::replay_component(seqs, &self.base_deg, &members, &dsnap);
+            kept_all.extend(kept.iter().copied());
+            self.kept_cache.insert(cache_key, KeptEntry { members, dsnap, kept });
         }
-        let mut kept: BTreeSet<u64> = BTreeSet::new();
-        let mut removed: HashSet<u64> = HashSet::new();
-        for &v in &replay {
-            for &(u, _) in seqs.deletions(v).iter().take(self.d[v] as usize) {
+        telemetry::counter("rewire.kept_cache_hits", hits);
+        telemetry::counter("rewire.kept_cache_misses", misses);
+        kept_all
+    }
+
+    /// Replays `materialize`'s deletion pass for one risky component:
+    /// walks the deletion prefixes of `dsnap`'s nodes in ascending node
+    /// order, tracking degrees of the component's members alone.
+    fn replay_component(
+        seqs: &EntropySequences,
+        base_deg: &[u32],
+        members: &[usize],
+        dsnap: &[(usize, u16)],
+    ) -> Vec<u64> {
+        // Degrees of member nodes on the evolving graph; membership in
+        // this map doubles as the risky test during replay.
+        let mut deg: FxHashMap<usize, u32> = members.iter().map(|&y| (y, base_deg[y])).collect();
+        let mut kept: Vec<u64> = Vec::new();
+        let mut decided: FxHashSet<u64> = FxHashSet::default();
+        for &(v, dv_len) in dsnap {
+            for &(u, _) in seqs.deletions(v).iter().take(dv_len as usize) {
                 let u = u as usize;
                 if !deg.contains_key(&v) && !deg.contains_key(&u) {
-                    continue; // certain edge: removed unconditionally
+                    // Certain edge, or uncertain in some *other* component:
+                    // removed unconditionally as far as this replay goes.
+                    continue;
                 }
                 let key = edge_key(v, u);
-                if removed.contains(&key) || kept.contains(&key) {
+                if !decided.insert(key) {
                     continue;
                 }
                 let dv = deg.get(&v).copied().unwrap_or(2);
                 let du = deg.get(&u).copied().unwrap_or(2);
                 if dv > 1 && du > 1 {
-                    removed.insert(key);
                     if let Some(x) = deg.get_mut(&v) {
                         *x -= 1;
                     }
@@ -241,10 +313,11 @@ impl RewiredGraph {
                         *x -= 1;
                     }
                 } else {
-                    kept.insert(key);
+                    kept.push(key);
                 }
             }
         }
+        kept.sort_unstable();
         kept
     }
 
@@ -265,6 +338,7 @@ impl RewiredGraph {
         let mut slated_in: Vec<u64> = Vec::new();
         let mut slated_out: Vec<u64> = Vec::new();
 
+        let delta_span = telemetry::span("rewire.delta_scan");
         for v in 0..n {
             // Addition prefix delta: per-edge refcounts over the union of
             // top-k prefixes; 0 <-> positive transitions are membership
@@ -339,7 +413,9 @@ impl RewiredGraph {
                 self.d[v] = new_d as u16;
             }
         }
+        drop(delta_span);
 
+        let guard_span = telemetry::span("rewire.guard");
         // Resolve the removed set for the new deletion prefixes, keeping
         // the invariant `removed == slated ∖ kept`. First sync every
         // transitioned key to its *final* slated membership — a key can
@@ -355,6 +431,11 @@ impl RewiredGraph {
             candidates.push(key);
         }
         let resimulated = !self.risky.is_empty();
+        if !resimulated && !self.kept_cache.is_empty() {
+            // No risky components left: stale verdicts can only waste
+            // memory and mask a future component reusing the same key.
+            self.kept_cache.clear();
+        }
         let kept_now = if resimulated { self.simulate_kept(topo) } else { BTreeSet::new() };
         for &key in &kept_now {
             if self.removed.remove(&key) {
@@ -370,7 +451,9 @@ impl RewiredGraph {
             }
         }
         self.kept = kept_now;
+        drop(guard_span);
 
+        let reconcile_span = telemetry::span("rewire.reconcile");
         // Reconcile candidate edges against the live graph:
         // present in G_t  <=>  selected for addition, or a surviving base
         // edge. Candidates are sorted and deduplicated, so the delta lists
@@ -380,6 +463,10 @@ impl RewiredGraph {
         let base = topo.base();
         let mut added: Vec<(usize, usize)> = Vec::new();
         let mut removed_edges: Vec<(usize, usize)> = Vec::new();
+        // Key-sorted presence flips for the operator cache: candidates
+        // ascend by edge key, so the list satisfies the sorted-flips
+        // contract of `GraphTensors::apply_flips` by construction.
+        let mut flips: Vec<(usize, usize, bool)> = Vec::with_capacity(candidates.len());
         for &key in &candidates {
             let (u, v) = unkey(key);
             let desired = self.add_ref.contains_key(&key)
@@ -387,8 +474,10 @@ impl RewiredGraph {
             let current = self.tensors.graph().has_edge(u, v);
             if desired && !current {
                 added.push((u, v));
+                flips.push((u, v, true));
             } else if !desired && current {
                 removed_edges.push((u, v));
+                flips.push((u, v, false));
             }
         }
 
@@ -403,7 +492,11 @@ impl RewiredGraph {
                 self.same_label += 1;
             }
         }
-        self.tensors.apply_edits(&removed_edges, &added);
+        drop(reconcile_span);
+        {
+            let _op_span = telemetry::span("rewire.operators");
+            self.tensors.apply_flips(&flips);
+        }
 
         telemetry::counter("rewire.applies", 1);
         telemetry::counter("rewire.edges_added", added.len() as u64);
@@ -495,6 +588,51 @@ mod tests {
         assert!(delta.removed.len() >= delta.added.len());
         assert_matches_materialize(&rw, &topo, &state);
         assert_eq!(rw.graph().edge_vec(), topo.base().edge_vec());
+    }
+
+    #[test]
+    fn kept_cache_reuses_and_invalidates() {
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        let n = topo.base().num_nodes();
+        let k_max = vec![2u16; n];
+        let d_max: Vec<u16> = (0..n).map(|v| topo.base().degree(v) as u16).collect();
+        let mut state = TopoState::new(k_max, d_max);
+        for v in 0..n {
+            state.set_d(v, state.d_max(v));
+        }
+        // Slating every edge makes the whole path one risky component.
+        assert!(rw.apply(&topo, &state).resimulated);
+        assert_matches_materialize(&rw, &topo, &state);
+        let entry = rw.kept_cache.get(&0).expect("whole path is one risky component");
+        assert_eq!(entry.members, (0..n).collect::<Vec<_>>());
+        assert!(!entry.kept.is_empty(), "the leaf guard must keep edges");
+        let reused = entry.kept.as_ptr();
+        // Addition-only transition: no deletion prefix changed, so the
+        // verdict must be served from the cache (entry not rebuilt).
+        state.set_k(0, 1);
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        let entry = rw.kept_cache.get(&0).expect("component unchanged");
+        assert_eq!(entry.kept.as_ptr(), reused, "unchanged component must hit the cache");
+        // Shrinking a member's prefix changes the snapshot: the stale
+        // verdict must be re-derived (the entry now carries the new d).
+        state.set_d(2, 1);
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        let entry = rw.kept_cache.get(&0).expect("component persists");
+        assert!(entry.dsnap.contains(&(2, 1)), "entry must re-derive with the shrunk prefix");
+        // Growing the prefix back is a second invalidation.
+        state.set_d(2, 2);
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        let entry = rw.kept_cache.get(&0).expect("component persists");
+        assert!(entry.dsnap.contains(&(2, 2)), "entry must re-derive with the grown prefix");
+        // Releasing every deletion empties the census and clears the cache.
+        state.reset();
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        assert!(rw.kept_cache.is_empty(), "cache must clear when the census empties");
     }
 
     #[test]

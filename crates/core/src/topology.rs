@@ -6,8 +6,9 @@
 //! `k_v` entropy candidates are connected.
 
 use graphrare_entropy::EntropySequences;
-use graphrare_graph::Graph;
+use graphrare_graph::{edge_key, EdgeEdit, Graph};
 
+use crate::fxmap::FxHashSet;
 use crate::state::TopoState;
 
 /// Which edit directions are enabled (Table V's add-only / remove-only
@@ -88,29 +89,43 @@ impl TopologyOptimizer {
     /// either selects it for addition — additions win if both happen.
     pub fn materialize(&self, state: &TopoState) -> Graph {
         assert_eq!(state.num_nodes(), self.base.num_nodes(), "state size mismatch");
-        let mut g = self.base.clone();
+        let n = self.base.num_nodes();
+        let mut edits: Vec<(usize, usize, EdgeEdit)> = Vec::new();
         if self.mode != EditMode::AddOnly {
-            for v in 0..g.num_nodes() {
+            // Replay the sequential deletion pass on a degree array instead
+            // of a live graph. A removal is skipped when it would isolate
+            // either endpoint: the per-node `d` bounds guarantee this for
+            // the ego node, but a neighbour's own deletions can otherwise
+            // strip a node's last edge (the paper notes disconnection
+            // cripples message passing). Deletion sequences list base
+            // neighbours, so an edge can only be absent here because an
+            // earlier iteration removed it — the `removed` set stands in
+            // for that presence check.
+            let mut deg: Vec<u32> = (0..n).map(|v| self.base.degree(v) as u32).collect();
+            let mut removed: FxHashSet<u64> = FxHashSet::default();
+            for v in 0..n {
                 for &(u, _) in self.sequences.deletions(v).iter().take(state.d(v)) {
                     let u = u as usize;
-                    // A removal is skipped when it would isolate either
-                    // endpoint: the per-node `d` bounds guarantee this for
-                    // the ego node, but a neighbour's own deletions can
-                    // otherwise strip a node's last edge (the paper notes
-                    // disconnection cripples message passing).
-                    if g.degree(v) > 1 && g.degree(u) > 1 {
-                        g.remove_edge(v, u);
+                    if deg[v] > 1 && deg[u] > 1 && removed.insert(edge_key(v, u)) {
+                        deg[v] -= 1;
+                        deg[u] -= 1;
+                        edits.push((v, u, EdgeEdit::Remove));
                     }
                 }
             }
         }
         if self.mode != EditMode::RemoveOnly {
-            for v in 0..g.num_nodes() {
+            // Additions come after every deletion in the edit list, so
+            // `apply_edits`' last-edit-wins rule reproduces the sequential
+            // "additions win" ordering.
+            for v in 0..n {
                 for &(u, _) in self.sequences.additions(v).iter().take(state.k(v)) {
-                    g.add_edge(v, u as usize);
+                    edits.push((v, u as usize, EdgeEdit::Add));
                 }
             }
         }
+        let mut g = self.base.clone();
+        g.apply_edits(&edits);
         g
     }
 }

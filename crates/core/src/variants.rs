@@ -15,6 +15,7 @@ use graphrare_gnn::{build_model, fit, Backbone, FitReport, GraphTensors};
 use graphrare_graph::{metrics, Graph};
 
 use crate::config::{GraphRareConfig, SequenceMode};
+use crate::rewire::RewiredGraph;
 use crate::state::TopoState;
 use crate::topology::TopologyOptimizer;
 
@@ -48,15 +49,21 @@ fn train_on_state(
     backbone: Backbone,
     cfg: &GraphRareConfig,
 ) -> VariantReport {
-    let g = topo.materialize(state);
-    let gt = GraphTensors::new(&g);
+    // Ablations ride the same incremental engine as the full framework:
+    // one `apply` from the base graph is `materialize` minus the
+    // clone-and-replay (the bit-identity is pinned by
+    // `ablation_path_matches_materialize` below and the equivalence
+    // suite).
+    let mut rw = RewiredGraph::new(topo);
+    rw.apply(topo, state);
+    let g = rw.graph();
     let labels = g.labels().to_vec();
     let model = build_model(backbone, g.feat_dim(), g.num_classes(), &cfg.model);
-    let fit_report = fit(model.as_ref(), &gt, &labels, split, &cfg.train);
+    let fit_report = fit(model.as_ref(), rw.tensors(), &labels, split, &cfg.train);
     VariantReport {
         test_acc: fit_report.test_acc,
         best_val_acc: fit_report.best_val_acc,
-        rewired_homophily: metrics::homophily_ratio(&g),
+        rewired_homophily: rw.homophily_ratio(),
         fit: fit_report,
     }
 }
@@ -170,6 +177,29 @@ mod tests {
             rewired.rewired_homophily,
             metrics::homophily_ratio(&g)
         );
+    }
+
+    #[test]
+    fn ablation_path_matches_materialize() {
+        // The incremental path the variants now train on must be
+        // bit-identical to the old clone-and-replay `materialize` path:
+        // same edges, same homophily bits, same gcn operator bits.
+        let (g, _split) = fixture();
+        let cfg = fast_cfg();
+        let topo = build_optimizer(&g, &cfg);
+        let mut state = TopoState::new(topo.k_bounds(5), topo.d_bounds(5));
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in 0..g.num_nodes() {
+            state.set_k(v, rng.gen_range(0..=3));
+            state.set_d(v, rng.gen_range(0..=3));
+        }
+        let mut rw = RewiredGraph::new(&topo);
+        rw.apply(&topo, &state);
+        let old = topo.materialize(&state);
+        assert_eq!(rw.graph().edge_vec(), old.edge_vec());
+        assert_eq!(rw.homophily_ratio().to_bits(), metrics::homophily_ratio(&old).to_bits());
+        let fresh = GraphTensors::new(&old);
+        assert_eq!(*rw.tensors().gcn_norm(), *fresh.gcn_norm());
     }
 
     #[test]

@@ -132,6 +132,55 @@ proptest! {
     }
 }
 
+/// Deterministic pseudo-random edge list dense enough that most rewiring
+/// steps dirty a large share of operator rows (the bench's Dense regime).
+fn dense_edges(n: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for v in 0..n {
+        edges.push((v, (v + 1) % n)); // ring keeps every degree >= 2
+        edges.push((v, (v * v + 3 * v + 1) % n));
+        edges.push((v, (v * 7 + 5) % n));
+    }
+    edges
+}
+
+/// Dense-regime trace: every node's `k` **and** `d` counter moves every
+/// step (no holds), the same shape `bench_rewire`'s Dense regime drives.
+/// Each step's batch re-weights far more neighbour rows than it resizes,
+/// so the per-row patch repeatedly takes the in-place nnz-unchanged path
+/// — and with `d` bounds covering every neighbour the risky census stays
+/// populated, so the kept-cache sees both reuse and invalidation as
+/// prefixes move. Episodic resets slam every deletion prefix to zero and
+/// grow it back, covering cache invalidation in both directions. The
+/// per-step assertion is byte-identity of graph, homophily and all four
+/// operators against from-scratch builds.
+#[test]
+fn dense_traces_match_materialize() {
+    let n = 40;
+    for reset_every in [0usize, 2] {
+        let topo = optimizer(n, &dense_edges(n), EditMode::Both);
+        let base = topo.base();
+        let k_max = topo.k_bounds(6);
+        let d_max: Vec<u16> = (0..n).map(|v| base.degree(v) as u16).collect();
+        let state = TopoState::new(k_max, d_max);
+        let trace: Vec<Vec<u8>> = (0..6u16)
+            .map(|s| {
+                (0..2 * n)
+                    .map(|i| {
+                        // Only up/down actions — every counter moves.
+                        if (i as u16 * 7 + s * 11 + i as u16 * s).is_multiple_of(2) {
+                            2
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        run_trace(&topo, state, &trace, reset_every);
+    }
+}
+
 /// Arbitrary counter jumps (checkpoint restores) rather than ±1 walks.
 #[test]
 fn checkpoint_jumps_match_materialize() {

@@ -17,10 +17,12 @@
 //! relative behaviour of methods across datasets is exercised on the same
 //! axes as the paper.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use graphrare_graph::Graph;
+use graphrare_graph::{edge_key, Graph};
 use graphrare_tensor::Matrix;
 
 use crate::spec::{Dataset, DatasetSpec};
@@ -52,8 +54,6 @@ pub fn generate_spec(spec: &DatasetSpec, seed: u64) -> Graph {
         spec.feature_signal,
         &mut rng,
     );
-    let mut g = Graph::new(n, features, labels.clone(), spec.num_classes);
-
     // Degree propensities: heavy-tailed for wiki-style graphs.
     let propensity: Vec<f64> = (0..n)
         .map(|_| {
@@ -72,28 +72,37 @@ pub fn generate_spec(spec: &DatasetSpec, seed: u64) -> Graph {
         .map(|members| WeightedSampler::new(members.clone(), &propensity))
         .collect();
 
+    // Collect the edge list up front and build the graph in one bulk
+    // pass: per-edge `Graph::add_edge` is a full CSR splice, which would
+    // make generation quadratic. The local key set reproduces `add_edge`'s
+    // dedup/self-loop semantics exactly, so the sampled RNG stream — and
+    // hence the generated graph — is unchanged.
     let target = spec.num_edges.min(n * (n - 1) / 2);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(2 * target);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(target);
     let mut attempts = 0usize;
     let max_attempts = target * 60 + 1000;
-    while g.num_edges() < target && attempts < max_attempts {
+    while edges.len() < target && attempts < max_attempts {
         attempts += 1;
         let u = global_sampler.sample(&mut rng);
         let same_class = rng.gen_bool(spec.homophily.clamp(0.0, 1.0));
         let v = if same_class {
-            class_samplers[g.label(u)].sample(&mut rng)
+            class_samplers[labels[u]].sample(&mut rng)
         } else {
             // Rejection-sample a node of a different class.
             let mut v = global_sampler.sample(&mut rng);
             let mut guard = 0;
-            while g.label(v) == g.label(u) && guard < 64 {
+            while labels[v] == labels[u] && guard < 64 {
                 v = global_sampler.sample(&mut rng);
                 guard += 1;
             }
             v
         };
-        g.add_edge(u, v);
+        if u != v && seen.insert(edge_key(u, v)) {
+            edges.push((u, v));
+        }
     }
-    g
+    Graph::from_edges(n, &edges, features, labels, spec.num_classes)
 }
 
 /// Near-balanced shuffled label assignment.
@@ -171,6 +180,18 @@ mod tests {
         assert_eq!(a.edge_vec(), b.edge_vec());
         assert_eq!(a.labels(), b.labels());
         assert!(a.features().max_abs_diff(b.features()) == 0.0);
+    }
+
+    #[test]
+    fn generated_features_are_finite() {
+        // Downstream consumers rank features and logits with `total_cmp`
+        // so NaN can no longer panic them, but the generator itself must
+        // never emit one: a non-finite feature would silently skew every
+        // similarity ranking built on top.
+        let g = generate_mini(Dataset::Cora, 7);
+        for v in 0..g.num_nodes() {
+            assert!(g.features().row(v).iter().all(|x| x.is_finite()), "node {v}");
+        }
     }
 
     #[test]
@@ -257,7 +278,7 @@ mod tests {
                 .max_by(|&a, &b| {
                     let da: f32 = x.iter().zip(centroids.row(a)).map(|(&p, &q)| p * q).sum();
                     let db: f32 = x.iter().zip(centroids.row(b)).map(|(&p, &q)| p * q).sum();
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 })
                 .unwrap();
             if best == g.label(v) {

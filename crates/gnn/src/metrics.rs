@@ -29,7 +29,7 @@ pub fn macro_auc(logits: &Matrix, labels: &[usize], mask: &[usize], num_classes:
         if pos == 0 || neg == 0 {
             continue;
         }
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Average ranks with tie handling.
         let mut rank_sum_pos = 0.0f64;
         let mut i = 0;
@@ -124,5 +124,31 @@ mod tests {
         let logits = Matrix::filled(2, 2, 0.0);
         let auc = macro_auc(&logits, &[0, 0], &[0, 1], 2);
         assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn auc_is_stable_under_nan_scores() {
+        // A NaN logit used to collapse the ranking sort through
+        // `partial_cmp(..).unwrap_or(Equal)`, making the AUC depend on
+        // the mask's iteration order. `total_cmp` keeps the order total:
+        // the result is finite, in range, and invariant to mask order.
+        let logits = Matrix::from_vec(
+            4,
+            2,
+            vec![
+                f32::NAN,
+                0.0, //
+                0.5,
+                0.2, //
+                0.1,
+                0.9, //
+                0.8,
+                0.3,
+            ],
+        );
+        let labels = [0usize, 1, 1, 0];
+        let auc = macro_auc(&logits, &labels, &[0, 1, 2, 3], 2);
+        assert!(auc.is_finite() && (0.0..=1.0).contains(&auc), "auc {auc}");
+        assert_eq!(auc, macro_auc(&logits, &labels, &[3, 1, 0, 2], 2));
     }
 }

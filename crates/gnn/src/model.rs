@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use rand::rngs::StdRng;
 
-use graphrare_graph::{ops, Graph};
+use graphrare_graph::{ops, EdgeEdit, Graph};
 use graphrare_tensor::{AdjList, CsrMatrix, Matrix, Param, Tape, Var};
 
 /// A snapshot of one graph topology with lazily built propagation
@@ -77,17 +77,23 @@ impl GraphTensors {
     ///
     /// This is the incremental-rewiring counterpart of building a fresh
     /// `GraphTensors` from the edited graph: the internal snapshot graph
-    /// gets the same `remove_edge`/`add_edge` calls, and every *already
-    /// built* operator cache is patched row-wise (via the per-row builders
-    /// in `graphrare_graph::ops` and `with_rows_replaced`), which yields
+    /// applies the whole batch in one CSR splice (`Graph::apply_edits`),
+    /// and every *already built* operator cache is patched row-wise via
+    /// the per-row builders in `graphrare_graph::ops`, which yields
     /// bit-identical operators at O(touched rows) instead of O(N+E) cost.
-    /// A batch dirtying more than half the rows instead rebuilds the
-    /// operator wholesale with the full builder — the same bits (the full
-    /// and per-row builders agree row by row) without per-row allocations.
-    /// Operators not built yet stay lazy and will build from the edited
-    /// graph on first use. Features are untouched — rewiring never changes
-    /// `X`. Outstanding `Rc` handles from before the call keep observing
-    /// the pre-edit operator (snapshot semantics), only this cache moves.
+    /// Patches go through `Rc::make_mut` + `apply_rows`: rows whose nnz is
+    /// unchanged by the batch (neighbour rows that only re-weight — the
+    /// bulk of a typical batch) are written in place with no splice and no
+    /// reallocation, and only the resized rows (the edit endpoints) go
+    /// through one splice. A batch dirtying more than half the rows
+    /// instead rebuilds the operator wholesale with the full builder — the
+    /// same bits (the full and per-row builders agree row by row) without
+    /// per-row merge overhead. Operators not built yet stay lazy and will
+    /// build from the edited graph on first use. Features are untouched —
+    /// rewiring never changes `X`. Outstanding `Rc` handles from before
+    /// the call keep observing the pre-edit operator (`make_mut` clones a
+    /// shared cache before writing — snapshot semantics), only this cache
+    /// moves.
     ///
     /// Dirty-row analysis per operator:
     /// * `gcn_norm` — an endpoint's degree change re-weights its whole row
@@ -99,33 +105,92 @@ impl GraphTensors {
         if removed.is_empty() && added.is_empty() {
             return;
         }
-        for &(u, v) in removed {
-            self.graph.remove_edge(u, v);
+        // One batched CSR splice. Removals are listed first so an edge
+        // named on both sides resolves to "added" (last edit wins),
+        // matching the former remove-then-add call order.
+        let mut edits: Vec<(usize, usize, EdgeEdit)> =
+            Vec::with_capacity(removed.len() + added.len());
+        edits.extend(removed.iter().map(|&(u, v)| (u, v, EdgeEdit::Remove)));
+        edits.extend(added.iter().map(|&(u, v)| (u, v, EdgeEdit::Add)));
+        self.graph.apply_edits(&edits);
+        if edits.len() * 2 > self.graph.num_nodes() {
+            self.rebuild_built_operators();
+        } else {
+            let pairs: Vec<(usize, usize)> = removed.iter().chain(added).copied().collect();
+            self.patch_operator_rows(&pairs);
         }
-        for &(u, v) in added {
-            self.graph.add_edge(u, v);
+    }
+
+    /// [`apply_edits`](GraphTensors::apply_edits) for callers that already
+    /// know each edge's presence flip: `flips` must be distinct in-bounds
+    /// non-loop edges in ascending edge-key order, each genuinely changing
+    /// presence (see [`Graph::apply_flips_sorted`]). The incremental
+    /// rewiring engine's reconciliation produces exactly this, so the hot
+    /// path skips the dedup sort and per-edge membership checks.
+    pub fn apply_flips(&mut self, flips: &[(usize, usize, bool)]) {
+        if flips.is_empty() {
+            return;
         }
-        let mut touched: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-        for &(u, v) in removed.iter().chain(added) {
-            touched.insert(u);
-            touched.insert(v);
+        self.graph.apply_flips_sorted(flips);
+        if flips.len() * 2 > self.graph.num_nodes() {
+            self.rebuild_built_operators();
+        } else {
+            let pairs: Vec<(usize, usize)> = flips.iter().map(|&(u, v, _)| (u, v)).collect();
+            self.patch_operator_rows(&pairs);
         }
+    }
+
+    /// Wholesale rebuild of every *built* operator from the (already
+    /// edited) snapshot graph. Taken when a batch names more than half the
+    /// nodes twice over: the raw edit count bounds the dirty-row sets from
+    /// above, so the per-row sort/dedup analysis would be pure overhead —
+    /// the dense exploration regime lands here every step.
+    fn rebuild_built_operators(&mut self) {
+        let mut rebuilds = 0u64;
+        if let Some(rc) = self.gcn.get_mut() {
+            rebuilds += 1;
+            *rc = Rc::new(ops::gcn_norm(&self.graph));
+        }
+        if let Some(rc) = self.two_hop.get_mut() {
+            rebuilds += 1;
+            *rc = Rc::new(ops::row_norm_two_hop(&self.graph));
+        }
+        if let Some(rc) = self.row.get_mut() {
+            rebuilds += 1;
+            *rc = Rc::new(ops::row_norm_adj(&self.graph));
+        }
+        if let Some(rc) = self.attn.get_mut() {
+            rebuilds += 1;
+            *rc = Rc::new(ops::attention_lists(&self.graph));
+        }
+        graphrare_telemetry::counter("rewire.operator_rebuilds", rebuilds);
+    }
+
+    /// Row-patches every built operator for a batch whose undirected
+    /// endpoint pairs are `pairs`. Per operator, a batch still dirtying
+    /// more than half the rows rebuilds wholesale instead — bit-identical
+    /// either way because the full and per-row builders agree row by row.
+    fn patch_operator_rows(&mut self, pairs: &[(usize, usize)]) {
+        let mut touched: Vec<usize> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+        touched.sort_unstable();
+        touched.dedup();
         let mut rows_patched = 0u64;
+        let mut rows_inplace = 0u64;
+        let mut rows_spliced = 0u64;
         let mut rebuilds = 0u64;
         let need_wide = self.gcn.get().is_some() || self.two_hop.get().is_some();
-        let wide: std::collections::BTreeSet<usize> = if need_wide {
-            touched
-                .iter()
-                .flat_map(|&v| std::iter::once(v).chain(self.graph.neighbors(v)))
-                .collect()
+        let wide: Vec<usize> = if need_wide {
+            let mut w = Vec::new();
+            for &v in &touched {
+                w.push(v);
+                w.extend(self.graph.neighbor_slice(v).iter().map(|&u| u as usize));
+            }
+            w.sort_unstable();
+            w.dedup();
+            w
         } else {
-            std::collections::BTreeSet::new()
+            Vec::new()
         };
-        // When a batch dirties most rows, the per-row patch (one Vec
-        // allocation per row plus a full-matrix copy) costs more than the
-        // builder's single contiguous pass; rebuilding wholesale is
-        // bit-identical because the full builders and the per-row builders
-        // agree row by row.
         let n = self.graph.num_nodes();
         let dense_wide = wide.len() * 2 > n;
         let dense_touched = touched.len() * 2 > n;
@@ -137,7 +202,9 @@ impl GraphTensors {
                 let rows: Vec<(usize, Vec<(usize, f32)>)> =
                     wide.iter().map(|&v| (v, ops::gcn_norm_row(&self.graph, v))).collect();
                 rows_patched += rows.len() as u64;
-                *rc = Rc::new(rc.with_rows_replaced(&rows));
+                let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
+                rows_inplace += n_in;
+                rows_spliced += rows.len() as u64 - n_in;
             }
         }
         if let Some(rc) = self.two_hop.get_mut() {
@@ -148,7 +215,9 @@ impl GraphTensors {
                 let rows: Vec<(usize, Vec<(usize, f32)>)> =
                     wide.iter().map(|&v| (v, ops::row_norm_two_hop_row(&self.graph, v))).collect();
                 rows_patched += rows.len() as u64;
-                *rc = Rc::new(rc.with_rows_replaced(&rows));
+                let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
+                rows_inplace += n_in;
+                rows_spliced += rows.len() as u64 - n_in;
             }
         }
         if let Some(rc) = self.row.get_mut() {
@@ -159,7 +228,9 @@ impl GraphTensors {
                 let rows: Vec<(usize, Vec<(usize, f32)>)> =
                     touched.iter().map(|&v| (v, ops::row_norm_adj_row(&self.graph, v))).collect();
                 rows_patched += rows.len() as u64;
-                *rc = Rc::new(rc.with_rows_replaced(&rows));
+                let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
+                rows_inplace += n_in;
+                rows_spliced += rows.len() as u64 - n_in;
             }
         }
         if let Some(rc) = self.attn.get_mut() {
@@ -170,10 +241,14 @@ impl GraphTensors {
                 let rows: Vec<(usize, Vec<usize>)> =
                     touched.iter().map(|&v| (v, ops::attention_row(&self.graph, v))).collect();
                 rows_patched += rows.len() as u64;
-                *rc = Rc::new(rc.with_rows_replaced(&rows));
+                let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
+                rows_inplace += n_in;
+                rows_spliced += rows.len() as u64 - n_in;
             }
         }
         graphrare_telemetry::counter("rewire.rows_patched", rows_patched);
+        graphrare_telemetry::counter("rewire.rows_inplace", rows_inplace);
+        graphrare_telemetry::counter("rewire.rows_spliced", rows_spliced);
         graphrare_telemetry::counter("rewire.operator_rebuilds", rebuilds);
     }
 }
@@ -306,11 +381,41 @@ mod tests {
     }
 
     #[test]
+    fn apply_flips_matches_fresh() {
+        let mut gt = GraphTensors::new(&toy());
+        gt.gcn_norm();
+        gt.row_norm();
+        gt.two_hop();
+        gt.attention();
+        // Small batch: the row-patch path.
+        gt.apply_flips(&[(0, 2, true), (2, 3, false)]);
+        assert_eq!(gt.graph().num_edges(), 3);
+        assert_matches_fresh(&gt);
+        // Large batch (2 * flips > n on the 4-node toy): wholesale rebuild.
+        gt.apply_flips(&[(0, 2, false), (0, 3, true), (2, 3, true)]);
+        assert_eq!(gt.graph().num_edges(), 4);
+        assert_matches_fresh(&gt);
+    }
+
+    #[test]
     fn apply_edits_empty_batch_keeps_cache_pointers() {
         let mut gt = GraphTensors::new(&toy());
         let before = gt.gcn_norm();
         gt.apply_edits(&[], &[]);
         assert!(Rc::ptr_eq(&before, &gt.gcn_norm()));
+    }
+
+    #[test]
+    fn apply_edits_preserves_outstanding_snapshots() {
+        // An Rc handed out before the patch must keep observing the
+        // pre-edit operator (Rc::make_mut clones the shared cache).
+        let mut gt = GraphTensors::new(&toy());
+        let before = gt.gcn_norm();
+        let before_bits = (*before).clone();
+        gt.apply_edits(&[], &[(0, 2)]);
+        assert_eq!(*before, before_bits, "outstanding snapshot changed");
+        assert!(!Rc::ptr_eq(&before, &gt.gcn_norm()));
+        assert_matches_fresh(&gt);
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! The attributed graph type `G = (V, E, X, A)` from the paper's Table I.
 
 use graphrare_tensor::Matrix;
-use std::collections::BTreeSet;
+
+use crate::adjacency::{edge_key, unkey, CsrAdjacency, EdgeEdit};
 
 /// An undirected attributed graph with node labels.
 ///
 /// Matches the paper's formulation `G = (V, E, X, A)`: `n` nodes, an
 /// undirected edge set, an `n x d` feature matrix and per-node class
-/// labels. Adjacency is stored as per-node sorted neighbour sets
-/// (`BTreeSet`) so that topology edits — the core operation of GraphRARE's
-/// optimisation module — are `O(log deg)` and iteration order is
-/// deterministic.
+/// labels. Adjacency is CSR-backed ([`CsrAdjacency`]): neighbour lists are
+/// sorted slices of one flat array, so iteration is contiguous, membership
+/// is a binary search, clones are `memcpy`s, and a whole batch of topology
+/// edits — the core operation of GraphRARE's optimisation module — is
+/// applied in one sorted-merge splice via [`Graph::apply_edits`].
+/// Single-edge [`add_edge`](Graph::add_edge) /
+/// [`remove_edge`](Graph::remove_edge) are `O(V + E)` each and meant for
+/// construction and tests; hot paths batch.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    adj: Vec<BTreeSet<usize>>,
+    adj: CsrAdjacency,
     num_edges: usize,
     features: Matrix,
     labels: Vec<usize>,
@@ -30,11 +35,12 @@ impl Graph {
         assert_eq!(features.rows(), n, "feature matrix must have n rows");
         assert_eq!(labels.len(), n, "labels must have n entries");
         assert!(labels.iter().all(|&l| l < num_classes), "labels must be < num_classes");
-        Self { adj: vec![BTreeSet::new(); n], num_edges: 0, features, labels, num_classes }
+        Self { adj: CsrAdjacency::new(n), num_edges: 0, features, labels, num_classes }
     }
 
     /// Creates a graph from an undirected edge list (duplicates and
-    /// self-loops are ignored).
+    /// self-loops are ignored). Built in one bulk pass — much faster than
+    /// repeated [`add_edge`](Graph::add_edge).
     pub fn from_edges(
         n: usize,
         edges: &[(usize, usize)],
@@ -43,9 +49,9 @@ impl Graph {
         num_classes: usize,
     ) -> Self {
         let mut g = Self::new(n, features, labels, num_classes);
-        for &(u, v) in edges {
-            g.add_edge(u, v);
-        }
+        let (adj, num_edges) = CsrAdjacency::from_edges(n, edges);
+        g.adj = adj;
+        g.num_edges = num_edges;
         g
     }
 
@@ -94,12 +100,12 @@ impl Graph {
     /// Degree of node `v`.
     #[inline]
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        self.adj.degree(v)
     }
 
     /// Maximum degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(BTreeSet::len).max().unwrap_or(0)
+        (0..self.adj.len()).map(|v| self.adj.degree(v)).max().unwrap_or(0)
     }
 
     /// Mean degree.
@@ -114,28 +120,35 @@ impl Graph {
     /// Sorted iterator over the one-hop neighbours of `v` (the paper's
     /// `N_1(v)`).
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.adj[v].iter().copied()
+        self.adj.neighbors(v).iter().map(|&u| u as usize)
+    }
+
+    /// Sorted neighbour slice of `v` in the compact `u32` representation,
+    /// for allocation-free hot loops.
+    #[inline]
+    pub fn neighbor_slice(&self, v: usize) -> &[u32] {
+        self.adj.neighbors(v)
     }
 
     /// One-hop neighbours of `v` collected into a `Vec`.
     pub fn neighbor_vec(&self, v: usize) -> Vec<usize> {
-        self.adj[v].iter().copied().collect()
+        self.neighbors(v).collect()
     }
 
     /// Whether the undirected edge `{u, v}` exists.
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj[u].contains(&v)
+        self.adj.contains(u, v)
     }
 
     /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
-    /// newly inserted; self-loops are rejected.
+    /// newly inserted; self-loops are rejected. `O(V + E)` — hot paths
+    /// batch via [`apply_edits`](Graph::apply_edits).
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         if u == v || u >= self.adj.len() || v >= self.adj.len() {
             return false;
         }
-        if self.adj[u].insert(v) {
-            self.adj[v].insert(u);
+        if self.adj.insert(u, v) {
             self.num_edges += 1;
             true
         } else {
@@ -144,12 +157,12 @@ impl Graph {
     }
 
     /// Removes the undirected edge `{u, v}`. Returns `true` if it existed.
+    /// `O(V + E)` — hot paths batch via [`apply_edits`](Graph::apply_edits).
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
         if u >= self.adj.len() || v >= self.adj.len() {
             return false;
         }
-        if self.adj[u].remove(&v) {
-            self.adj[v].remove(&u);
+        if self.adj.remove(u, v) {
             self.num_edges -= 1;
             true
         } else {
@@ -157,12 +170,86 @@ impl Graph {
         }
     }
 
-    /// Iterator over undirected edges as `(u, v)` with `u < v`.
-    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
+    /// Applies a batch of undirected edits in one sorted-merge splice of
+    /// the CSR adjacency. Returns `(added, removed)` undirected-edge
+    /// counts.
+    ///
+    /// Semantics match applying the edits one by one with
+    /// [`add_edge`](Graph::add_edge) / [`remove_edge`](Graph::remove_edge)
+    /// in order: when the same pair appears more than once, the **last**
+    /// edit decides its final presence; adds of present edges and removes
+    /// of absent edges are no-ops; self-loops and out-of-bounds pairs are
+    /// dropped. Cost is `O(V + E + B log B)` for `B` edits, independent of
+    /// how the batch is ordered.
+    pub fn apply_edits(&mut self, edits: &[(usize, usize, EdgeEdit)]) -> (usize, usize) {
+        let n = self.adj.len();
+        let mut keyed: Vec<(u64, u32, bool)> = edits
             .iter()
             .enumerate()
-            .flat_map(|(u, nbrs)| nbrs.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+            .filter(|&(_, &(u, v, _))| u != v && u < n && v < n)
+            .map(|(i, &(u, v, e))| (edge_key(u, v), i as u32, e == EdgeEdit::Add))
+            .collect();
+        keyed.sort_unstable();
+        let mut flips: Vec<(usize, usize, bool)> = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let key = keyed[i].0;
+            while i + 1 < keyed.len() && keyed[i + 1].0 == key {
+                i += 1; // the last edit for this pair wins
+            }
+            let want = keyed[i].2;
+            i += 1;
+            let (u, v) = unkey(key);
+            if want != self.adj.contains(u, v) {
+                flips.push((u, v, want));
+            }
+        }
+        self.apply_flips_sorted(&flips)
+    }
+
+    /// Applies a batch of *known* presence flips in one CSR splice,
+    /// skipping [`apply_edits`](Graph::apply_edits)'s dedup sort and
+    /// per-edge membership checks. Returns `(added, removed)`.
+    ///
+    /// Callers must pass distinct in-bounds non-loop edges in ascending
+    /// [`edge_key`] order, each of which genuinely changes presence
+    /// (`add` absent edges, `remove` present ones) — the incremental
+    /// rewiring engine establishes all of this during reconciliation.
+    /// Violations are caught by debug assertions (and corrupt the
+    /// adjacency in release builds).
+    pub fn apply_flips_sorted(&mut self, flips: &[(usize, usize, bool)]) -> (usize, usize) {
+        debug_assert!(
+            flips.windows(2).all(|w| edge_key(w[0].0, w[0].1) < edge_key(w[1].0, w[1].1)),
+            "flips must be distinct and ascending by edge key"
+        );
+        let mut changes: Vec<(u32, u32, bool)> = Vec::with_capacity(2 * flips.len());
+        let (mut added, mut removed) = (0usize, 0usize);
+        for &(u, v, want) in flips {
+            debug_assert!(u != v && u < self.adj.len() && v < self.adj.len(), "flip out of bounds");
+            debug_assert!(want != self.adj.contains(u, v), "flip {u}-{v} does not change presence");
+            changes.push((u as u32, v as u32, want));
+            changes.push((v as u32, u as u32, want));
+            if want {
+                added += 1;
+            } else {
+                removed += 1;
+            }
+        }
+        self.adj.apply_changes(&mut changes, 2 * added, 2 * removed);
+        self.num_edges = self.num_edges + added - removed;
+        (added, removed)
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.adj.len()).flat_map(move |u| {
+            self.adj
+                .neighbors(u)
+                .iter()
+                .map(|&v| v as usize)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// All undirected edges collected into a `Vec`.
@@ -240,6 +327,53 @@ mod tests {
         let g = path_graph(5);
         let edges = g.edge_vec();
         assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn batched_edits_match_sequential() {
+        let mut a = path_graph(6);
+        let mut b = a.clone();
+        use EdgeEdit::{Add, Remove};
+        let edits =
+            [(1, 2, Remove), (0, 5, Add), (3, 4, Remove), (3, 4, Add), (0, 5, Add), (9, 1, Add)];
+        let (added, removed) = a.apply_edits(&edits);
+        for &(u, v, e) in &edits {
+            match e {
+                Add => {
+                    b.add_edge(u, v);
+                }
+                Remove => {
+                    b.remove_edge(u, v);
+                }
+            }
+        }
+        assert_eq!(a.edge_vec(), b.edge_vec());
+        assert_eq!(a.num_edges(), b.num_edges());
+        // (3,4) was removed then re-added: the last edit wins, net no-op.
+        assert_eq!((added, removed), (1, 1));
+    }
+
+    #[test]
+    fn batched_edits_last_wins_over_earlier_add() {
+        let mut g = path_graph(4);
+        use EdgeEdit::{Add, Remove};
+        g.apply_edits(&[(0, 2, Add), (0, 2, Remove)]);
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn sorted_flips_match_generic_edits() {
+        let mut a = path_graph(6);
+        let mut b = a.clone();
+        use EdgeEdit::{Add, Remove};
+        // Same batch through both entry points: flips are key-sorted and
+        // all presence-changing, as the rewiring engine guarantees.
+        let (added, removed) = a.apply_flips_sorted(&[(0, 3, true), (1, 2, false), (4, 5, false)]);
+        b.apply_edits(&[(0, 3, Add), (1, 2, Remove), (4, 5, Remove)]);
+        assert_eq!((added, removed), (1, 2));
+        assert_eq!(a.edge_vec(), b.edge_vec());
+        assert_eq!(a.num_edges(), b.num_edges());
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! homophily/degree statistics ([`metrics`], including Eq. 1's edge
 //! homophily ratio), and BFS candidate enumeration ([`traversal`]).
 //!
-//! Topology edits (`add_edge` / `remove_edge`) are the primitive that
-//! GraphRARE's reinforcement-learning module drives; they are `O(log deg)`
-//! and deterministic.
+//! Topology edits are the primitive that GraphRARE's
+//! reinforcement-learning module drives. Adjacency is CSR-backed
+//! ([`adjacency::CsrAdjacency`]): a whole batch of edits is applied in one
+//! sorted-merge splice ([`Graph::apply_edits`]), which is what the
+//! incremental rewiring engine and `materialize` ride; single-edge
+//! `add_edge` / `remove_edge` remain for construction and tests.
 //!
 //! ```
 //! use graphrare_graph::{Graph, metrics};
@@ -28,10 +31,12 @@
 
 #![warn(missing_docs)]
 
+pub mod adjacency;
 pub mod graph;
 pub mod io;
 pub mod metrics;
 pub mod ops;
 pub mod traversal;
 
+pub use adjacency::{edge_key, unkey, CsrAdjacency, EdgeEdit};
 pub use graph::Graph;

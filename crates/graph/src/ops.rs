@@ -38,8 +38,28 @@ pub fn gcn_norm_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// Symmetric GCN normalisation `D̂^{-1/2} (A + I) D̂^{-1/2}` with self-loops
 /// (Kipf & Welling 2017), the operator used by GCN and as the default
 /// propagation matrix elsewhere.
+///
+/// The full build precomputes `d̂^{-1/2}` per node (the same f32 expression
+/// [`gcn_norm_row`] evaluates per entry, so entries stay bit-identical) and
+/// assembles rows directly into CSR storage.
 pub fn gcn_norm(g: &Graph) -> CsrMatrix {
-    csr_from_rows(g.num_nodes(), |v| gcn_norm_row(g, v))
+    let n = g.num_nodes();
+    let inv: Vec<f32> = (0..n).map(|v| inv_sqrt_deg(g, v)).collect();
+    CsrMatrix::from_row_builder(n, n, |v, out| {
+        let iv = inv[v];
+        let mut self_placed = false;
+        for &u in g.neighbor_slice(v) {
+            let u = u as usize;
+            if !self_placed && u > v {
+                out.push((v, iv * iv));
+                self_placed = true;
+            }
+            out.push((u, iv * inv[u]));
+        }
+        if !self_placed {
+            out.push((v, iv * iv));
+        }
+    })
 }
 
 /// One row of [`row_norm_adj`], sorted by column (empty for isolated
@@ -57,32 +77,23 @@ pub fn row_norm_adj_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// node), used by GraphSAGE's mean aggregator and by H2GCN's hop operators.
 /// Isolated nodes get an all-zero row.
 pub fn row_norm_adj(g: &Graph) -> CsrMatrix {
-    csr_from_rows(g.num_nodes(), |v| row_norm_adj_row(g, v))
-}
-
-/// Assembles a square CSR matrix from per-row builders. Rows must come
-/// back sorted by column without duplicates (all builders in this module
-/// do), which makes the result identical to a `from_triplets` build.
-fn csr_from_rows(n: usize, row: impl Fn(usize) -> Vec<(usize, f32)>) -> CsrMatrix {
-    let mut triplets = Vec::new();
-    for v in 0..n {
-        for (u, w) in row(v) {
-            triplets.push((v, u, w));
+    let n = g.num_nodes();
+    CsrMatrix::from_row_builder(n, n, |v, out| {
+        let deg = g.degree(v);
+        if deg == 0 {
+            return;
         }
-    }
-    CsrMatrix::from_triplets(n, n, &triplets)
+        let w = 1.0 / deg as f32;
+        out.extend(g.neighbor_slice(v).iter().map(|&u| (u as usize, w)));
+    })
 }
 
 /// Unnormalised adjacency `A` as a CSR matrix.
 pub fn adjacency(g: &Graph) -> CsrMatrix {
     let n = g.num_nodes();
-    let mut triplets = Vec::with_capacity(2 * g.num_edges());
-    for v in 0..n {
-        for u in g.neighbors(v) {
-            triplets.push((v, u, 1.0));
-        }
-    }
-    CsrMatrix::from_triplets(n, n, &triplets)
+    CsrMatrix::from_row_builder(n, n, |v, out| {
+        out.extend(g.neighbor_slice(v).iter().map(|&u| (u as usize, 1.0)));
+    })
 }
 
 /// One row of [`row_norm_two_hop`], sorted by column. Row-rebuild
@@ -111,10 +122,9 @@ pub fn row_norm_two_hop_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// its one-hop neighbours), row-normalised.
 pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
     let n = g.num_nodes();
-    let mut triplets = Vec::new();
     let mut seen = vec![false; n];
     let mut ring: Vec<usize> = Vec::new();
-    for v in 0..n {
+    CsrMatrix::from_row_builder(n, n, |v, out| {
         ring.clear();
         seen[v] = true;
         for u in g.neighbors(v) {
@@ -129,10 +139,10 @@ pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
             }
         }
         if !ring.is_empty() {
+            // Discovery order is not sorted; CSR rows must be.
+            ring.sort_unstable();
             let w = 1.0 / ring.len() as f32;
-            for &r in &ring {
-                triplets.push((v, r, w));
-            }
+            out.extend(ring.iter().map(|&r| (r, w)));
         }
         // Reset the scratch marks.
         seen[v] = false;
@@ -142,8 +152,7 @@ pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
         for &r in &ring {
             seen[r] = false;
         }
-    }
-    CsrMatrix::from_triplets(n, n, &triplets)
+    })
 }
 
 /// Powers-of-adjacency operator `Â^k` built by repeated sparsified

@@ -161,16 +161,7 @@ impl<P: Policy> PpoAgent<P> {
     pub fn act_deterministic(&mut self, state: &[f32]) -> Vec<u8> {
         let (logits, _) = self.forward_single(state);
         let heads = self.policy.heads();
-        (0..heads)
-            .map(|h| {
-                let row = &logits[h * ACTION_ARITY..(h + 1) * ACTION_ARITY];
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .map(|(i, _)| i as u8)
-                    .unwrap_or(1)
-            })
-            .collect()
+        (0..heads).map(|h| greedy_head(&logits[h * ACTION_ARITY..(h + 1) * ACTION_ARITY])).collect()
     }
 
     /// Critic value of `state`.
@@ -285,6 +276,15 @@ impl<P: Policy> PpoAgent<P> {
     }
 }
 
+/// Greedy argmax over one head's logit row. `total_cmp` keeps the
+/// ordering total: a NaN logit (e.g. from a checkpoint corrupted
+/// upstream of the tape's finiteness gate) must yield a deterministic
+/// pick, never a comparator panic mid-episode.
+#[inline]
+fn greedy_head(row: &[f32]) -> u8 {
+    row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i as u8).unwrap_or(1)
+}
+
 #[inline]
 fn softmax3(logits: &[f32], out: &mut [f32; ACTION_ARITY]) {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -325,6 +325,18 @@ mod tests {
         let mut agent = make_agent(4, 2, 1);
         let s = [0.5, -0.5, 0.2, 0.0];
         assert_eq!(agent.act_deterministic(&s), agent.act_deterministic(&s));
+    }
+
+    #[test]
+    fn greedy_argmax_tolerates_nan_logits() {
+        // The per-head argmax used to panic through
+        // `partial_cmp(..).unwrap()` on any NaN logit; `total_cmp`
+        // keeps the pick total and deterministic. (The tape refuses
+        // non-finite inputs, so NaN rows are injected directly.)
+        assert_eq!(greedy_head(&[f32::NAN, 0.5, -0.5]), 0); // +NaN sorts above finite
+        assert_eq!(greedy_head(&[0.5, f32::NAN, -0.5]), 1);
+        assert_eq!(greedy_head(&[f32::NAN, f32::NAN, f32::NAN]), 2); // last wins ties
+        assert_eq!(greedy_head(&[1.0, 3.0, 2.0]), 1);
     }
 
     /// A contextual bandit: reward 1 for picking action 2 on every head,

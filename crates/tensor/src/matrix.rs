@@ -421,7 +421,7 @@ impl Matrix {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -671,5 +671,30 @@ mod tests {
         let b = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
         a.axpy(0.5, &b);
         assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn row_argmax_is_total_on_nan() {
+        // NaN logits used to destabilise argmax through
+        // `partial_cmp(..).unwrap_or(Equal)`: the comparator reported
+        // spurious equality, so the pick depended on element order.
+        // `total_cmp` ranks NaN above every number — deterministic, no
+        // panic, and non-NaN rows behave exactly as before.
+        let m = Matrix::from_vec(
+            3,
+            3,
+            vec![
+                1.0,
+                f32::NAN,
+                2.0, //
+                f32::NAN,
+                f32::NAN,
+                f32::NAN, //
+                3.0,
+                2.0,
+                1.0,
+            ],
+        );
+        assert_eq!(m.row_argmax(), vec![1, 2, 0]);
     }
 }

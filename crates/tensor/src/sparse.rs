@@ -81,6 +81,44 @@ impl CsrMatrix {
         Self { rows, cols, row_ptr: out_ptr, col_idx: out_col, values: out_val }
     }
 
+    /// Assembles a matrix directly from a per-row entry builder, skipping
+    /// [`from_triplets`](CsrMatrix::from_triplets)'s scatter/sort/dedup
+    /// passes.
+    ///
+    /// `build` is called once per row in ascending order with a cleared
+    /// scratch vector and must append that row's entries **sorted by
+    /// column without duplicates** (checked in debug builds); explicit
+    /// zeros are kept as stored entries, exactly as `from_triplets` keeps
+    /// the *sum* of duplicates only when non-zero — callers of this fast
+    /// path emit no zeros. The result is identical to building the same
+    /// rows via triplets.
+    pub fn from_row_builder(
+        rows: usize,
+        cols: usize,
+        mut build: impl FnMut(usize, &mut Vec<(usize, f32)>),
+    ) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            build(r, &mut scratch);
+            debug_assert!(
+                scratch.windows(2).all(|w| w[0].0 < w[1].0),
+                "row {r} entries must be sorted by column and unique"
+            );
+            if let Some(&(c, _)) = scratch.last() {
+                assert!(c < cols, "column {c} out of bounds for {cols} cols");
+            }
+            col_idx.extend(scratch.iter().map(|&(c, _)| c));
+            values.extend(scratch.iter().map(|&(_, v)| v));
+            row_ptr.push(col_idx.len());
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
     /// Builds an identity CSR matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         Self {
@@ -298,6 +336,57 @@ impl CsrMatrix {
         CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
     }
 
+    /// Applies row replacements, patching `col_idx`/`values` **in place**
+    /// for every replaced row that keeps its non-zero count — the common
+    /// incremental-rewiring case where the neighbour rows of an edit only
+    /// re-weight — and routing only the rows that grow or shrink through
+    /// one [`with_rows_replaced`](CsrMatrix::with_rows_replaced) splice.
+    /// Returns how many rows took the in-place path; the result is always
+    /// identical to `with_rows_replaced` on the full input.
+    ///
+    /// Callers holding the matrix behind a shared handle must go through
+    /// `Rc::make_mut` (copy-on-write) so outstanding snapshots keep
+    /// observing the pre-edit operator.
+    ///
+    /// `replacements` obeys the same ordering contract as
+    /// `with_rows_replaced`.
+    ///
+    /// # Panics
+    /// Panics if a row or column index is out of bounds or the ordering
+    /// contract is violated.
+    pub fn apply_rows(&mut self, replacements: &[(usize, Vec<(usize, f32)>)]) -> usize {
+        for w in replacements.windows(2) {
+            assert!(w[0].0 < w[1].0, "replacement rows must be sorted and unique");
+        }
+        let mut resized: Vec<(usize, Vec<(usize, f32)>)> = Vec::new();
+        let mut in_place = 0usize;
+        for (r, entries) in replacements {
+            assert!(*r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+            for w in entries.windows(2) {
+                assert!(w[0].0 < w[1].0, "row {r} entries must be sorted by column and unique");
+            }
+            if let Some(&(c, _)) = entries.last() {
+                assert!(c < self.cols, "column {c} out of bounds for {} cols", self.cols);
+            }
+            if self.row_nnz(*r) == entries.len() {
+                let lo = self.row_ptr[*r];
+                for (i, &(c, v)) in entries.iter().enumerate() {
+                    self.col_idx[lo + i] = c;
+                    self.values[lo + i] = v;
+                }
+                in_place += 1;
+            } else {
+                resized.push((*r, entries.clone()));
+            }
+        }
+        if !resized.is_empty() {
+            // The splice reads the already-patched storage; the row sets
+            // are disjoint, so the order of the two phases cannot matter.
+            *self = self.with_rows_replaced(&resized);
+        }
+        in_place
+    }
+
     /// Value at `(r, c)` if stored.
     pub fn get(&self, r: usize, c: usize) -> Option<f32> {
         let lo = self.row_ptr[r];
@@ -405,5 +494,56 @@ mod tests {
     fn rows_replaced_rejects_unsorted_rows() {
         let m = sample();
         let _ = m.with_rows_replaced(&[(2, vec![]), (1, vec![])]);
+    }
+
+    #[test]
+    fn from_row_builder_matches_triplets() {
+        let m = sample();
+        let rows: Vec<Vec<(usize, f32)>> = (0..3).map(|r| m.row_entries(r).collect()).collect();
+        let rebuilt = CsrMatrix::from_row_builder(3, 3, |r, out| out.extend(rows[r].iter()));
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn apply_rows_in_place_when_nnz_unchanged() {
+        let mut m = sample();
+        // Row 0 has nnz 2: same count, different columns and values.
+        let patch = vec![(0usize, vec![(0usize, 7.0f32), (1, 8.0)])];
+        let want = m.with_rows_replaced(&patch);
+        assert_eq!(m.apply_rows(&patch), 1, "same-nnz patch must take the in-place path");
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    fn apply_rows_mixes_in_place_and_splice() {
+        let mut m = sample();
+        // Row 0 shrinks (2 -> 1, spliced); row 1 keeps nnz 1 (in place);
+        // row 2 grows (1 -> 2, spliced). The mix must equal one splice of
+        // the full batch.
+        let patch = vec![
+            (0usize, vec![(2usize, 4.0f32)]),
+            (1, vec![(2, 9.0)]),
+            (2, vec![(0, 1.0), (1, 2.0)]),
+        ];
+        let want = m.with_rows_replaced(&patch);
+        assert_eq!(m.apply_rows(&patch), 1, "exactly row 1 keeps its nnz");
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    fn apply_rows_splices_on_nnz_change() {
+        let mut m = sample();
+        let patch = vec![(0usize, vec![(2usize, 4.0f32)]), (2, vec![(0, 1.0), (1, 2.0)])];
+        let want = m.with_rows_replaced(&patch);
+        assert_eq!(m.apply_rows(&patch), 0, "every row resized: nothing in place");
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn apply_rows_rejects_unsorted_rows() {
+        let mut m = sample();
+        // Both rows keep their nnz so the in-place path is reached.
+        let _ = m.apply_rows(&[(2, vec![(0, 1.0)]), (1, vec![(1, 1.0)])]);
     }
 }

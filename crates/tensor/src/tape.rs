@@ -119,6 +119,40 @@ impl AdjList {
         }
         AdjList { offsets, targets }
     }
+
+    /// Applies row replacements, patching `targets` in place for every
+    /// replaced list that keeps its length (the common case when a
+    /// topology batch only re-orders or re-weights a neighbourhood) and
+    /// routing only the lists that grow or shrink through one
+    /// [`with_rows_replaced`](AdjList::with_rows_replaced) splice. Returns
+    /// how many rows took the in-place path. The result is always
+    /// identical to `with_rows_replaced` on the full input.
+    ///
+    /// Callers holding the list behind a shared handle must go through
+    /// `Rc::make_mut` (copy-on-write) so outstanding snapshots keep
+    /// observing the pre-edit list.
+    pub fn apply_rows(&mut self, replacements: &[(usize, Vec<usize>)]) -> usize {
+        for w in replacements.windows(2) {
+            assert!(w[0].0 < w[1].0, "replacement rows must be sorted and unique");
+        }
+        let mut resized: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut in_place = 0usize;
+        for (i, list) in replacements {
+            assert!(*i < self.len(), "row {i} out of bounds");
+            if self.offsets[*i + 1] - self.offsets[*i] == list.len() {
+                self.targets[self.offsets[*i]..self.offsets[*i + 1]].copy_from_slice(list);
+                in_place += 1;
+            } else {
+                resized.push((*i, list.clone()));
+            }
+        }
+        if !resized.is_empty() {
+            // Disjoint row sets: the in-place writes and the splice of
+            // the resized rows cannot interact.
+            *self = self.with_rows_replaced(&resized);
+        }
+        in_place
+    }
 }
 
 /// Handle to a node on a [`Tape`].
@@ -999,6 +1033,22 @@ mod tests {
     use crate::gradcheck::check_grad;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn adjlist_apply_rows_mixes_in_place_and_splice() {
+        let al = AdjList::from_neighbor_lists(&[vec![0, 1, 2], vec![1, 0], vec![2, 1, 0]]);
+        // Row 1 keeps its length (in place); row 0 shrinks (spliced).
+        let patch = vec![(0, vec![2]), (1, vec![0, 2])];
+        let want = al.with_rows_replaced(&patch);
+        let mut got = al.clone();
+        assert_eq!(got.apply_rows(&patch), 1, "exactly row 1 keeps its length");
+        assert_eq!(got, want);
+        // A pure re-write batch is all in-place.
+        let rewrite = vec![(2, vec![0, 1, 2])];
+        let want = got.with_rows_replaced(&rewrite);
+        assert_eq!(got.apply_rows(&rewrite), 1);
+        assert_eq!(got, want);
+    }
 
     #[test]
     fn adjlist_rows_replaced_matches_rebuild() {

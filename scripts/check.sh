@@ -8,6 +8,23 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> NaN-ordering lint (partial_cmp must not drive sort/argmax)"
+# A `partial_cmp` comparator panics (`.unwrap()`) or silently destabilises
+# the ordering (`.unwrap_or(Equal)`) as soon as a NaN reaches it; ranking
+# and argmax code must use `total_cmp`. The 3-line window after each
+# sort/max/min call site catches multi-line closures. Extend the allowlist
+# (one regex alternative per site) only with a justification for why the
+# site can never see NaN.
+nan_allowlist='^$' # no allowed sites
+nan_hits="$(grep -rn --include='*.rs' -E -A3 '\.(sort(_unstable)?_by|max_by|min_by)\(' \
+    crates src tests examples 2>/dev/null |
+    grep 'partial_cmp(' | grep -Ev "$nan_allowlist" || true)"
+if [ -n "$nan_hits" ]; then
+    echo "NaN-unsafe ordering(s) found; use f32::total_cmp / f64::total_cmp:" >&2
+    echo "$nan_hits" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
