@@ -9,10 +9,17 @@
 //! graphrare --input data/mygraph --output out/mygraph-optimized \
 //!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
 //!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
+//!           [--entropy-refresh-every N]
 //!           [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]
 //!           [--checkpoint-every N --checkpoint-dir DIR] [--resume]
 //!           [--save-model PATH | --load-model PATH]
 //! ```
+//!
+//! `--entropy-refresh-every N` re-ranks the candidate sequences against
+//! the current rewired graph every `N` DRL steps via the incremental
+//! entropy engine (default 0 = the paper's frozen sequences). The mode
+//! is incompatible with checkpointing, which snapshots neither the
+//! engine nor the re-anchored optimiser.
 //!
 //! `--threads 0` (the default) resolves the worker count from
 //! `GRAPHRARE_THREADS`, falling back to the machine's available
@@ -57,6 +64,7 @@ struct Args {
     split_seed: u64,
     k_cap: usize,
     algo: RlAlgo,
+    entropy_refresh_every: usize,
     threads: usize,
     quiet: bool,
     telemetry: bool,
@@ -73,6 +81,7 @@ fn usage() -> ! {
         "usage: graphrare --input <prefix> [--output <prefix>] \
          [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
          [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c] \
+         [--entropy-refresh-every N] \
          [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH] \
          [--checkpoint-every N --checkpoint-dir DIR] [--resume] \
          [--save-model PATH | --load-model PATH]"
@@ -91,6 +100,7 @@ fn parse_args() -> Args {
         split_seed: 0,
         k_cap: 10,
         algo: RlAlgo::Ppo,
+        entropy_refresh_every: 0,
         threads: 0,
         quiet: false,
         telemetry: false,
@@ -132,6 +142,9 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--split-seed" => args.split_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--k-cap" => args.k_cap = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--entropy-refresh-every" => {
+                args.entropy_refresh_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--quiet" => args.quiet = true,
             "--telemetry" => args.telemetry = true,
@@ -166,6 +179,13 @@ fn parse_args() -> Args {
     }
     if (args.checkpoint_every > 0 || args.resume) && args.checkpoint_dir.is_none() {
         eprintln!("--checkpoint-every and --resume require --checkpoint-dir");
+        usage();
+    }
+    if args.entropy_refresh_every > 0 && (args.checkpoint_every > 0 || args.resume) {
+        eprintln!(
+            "--entropy-refresh-every is incompatible with checkpointing (the incremental \
+             entropy engine's state is not captured by snapshots)"
+        );
         usage();
     }
     if args.load_model.is_some() && args.save_model.is_some() {
@@ -334,6 +354,7 @@ fn main() -> ExitCode {
     cfg.steps = args.steps;
     cfg.k_cap = args.k_cap;
     cfg.algo = args.algo;
+    cfg.entropy_refresh_every = args.entropy_refresh_every;
     cfg.threads = args.threads;
 
     progress!(

@@ -86,6 +86,16 @@ pub struct GraphRareConfig {
     pub finetune_epochs: usize,
     /// Per-node cap on both `k` and `d`.
     pub k_cap: usize,
+    /// Refresh the entropy sequences against the *current* rewired graph
+    /// every this many DRL steps, via the incremental entropy engine
+    /// (`graphrare_entropy::IncrementalEntropy`). `0` (the default)
+    /// keeps the paper's semantics: sequences are computed once on the
+    /// original graph and stay frozen for the whole run. When enabled,
+    /// each refresh re-anchors the topology optimiser on the current
+    /// graph and resets the DRL counters (see `RareDriver`), so results
+    /// differ from the frozen-sequence run by design; snapshot/resume is
+    /// rejected in this mode.
+    pub entropy_refresh_every: usize,
     /// Master seed (PPO exploration noise etc. derive from sub-seeds).
     pub seed: u64,
     /// Worker threads for the tensor/entropy kernels
@@ -115,6 +125,7 @@ impl Default for GraphRareConfig {
             warmup_epochs: 40,
             finetune_epochs: 5,
             k_cap: 10,
+            entropy_refresh_every: 0,
             seed: 0,
             threads: 0,
         }

@@ -8,7 +8,7 @@
 //! results.
 
 use graphrare_datasets::Split;
-use graphrare_entropy::{EntropySequences, RelativeEntropyTable};
+use graphrare_entropy::{EntropySequences, IncrementalEntropy, RelativeEntropyTable};
 use graphrare_gnn::metrics::macro_auc;
 use graphrare_gnn::{build_model, evaluate, Backbone, GnnModel, GraphTensors, Trainer};
 use graphrare_graph::{metrics, Graph};
@@ -273,6 +273,14 @@ pub struct RareDriver {
     baseline: Option<telemetry::Summary>,
     run_clock: telemetry::Stopwatch,
     run_span: Option<telemetry::SpanGuard>,
+    /// Incremental entropy engine, present iff `entropy_refresh_every > 0`:
+    /// fed every rewire delta so its table/sequences mirror `G_t`, and
+    /// consulted at refresh boundaries instead of a from-scratch build.
+    engine: Option<IncrementalEntropy>,
+    /// The construction-time graph, kept only when refreshes can re-anchor
+    /// `topo.base()` away from it (for the final report's original
+    /// homophily and the finish-phase fallback candidate).
+    original: Option<Graph>,
 }
 
 impl RareDriver {
@@ -286,11 +294,13 @@ impl RareDriver {
         // The run-scoped baseline is taken before the entropy precompute so
         // the report's telemetry aggregate covers the whole of Algorithm 1.
         let baseline = telemetry::enabled().then(telemetry::snapshot);
-        let sequences = Self::sequences_for(graph, cfg);
-        Self::build(graph, sequences, split, backbone, cfg, baseline, false)
+        let (sequences, engine) = Self::init_sequences(graph, cfg);
+        Self::build(graph, sequences, engine, split, backbone, cfg, baseline, false)
     }
 
     /// [`RareDriver::new`] with externally supplied sequences (ablations).
+    /// `entropy_refresh_every` is ignored here: external sequences have no
+    /// engine to refresh from, so they stay frozen like the default mode.
     pub fn with_sequences(
         graph: &Graph,
         sequences: EntropySequences,
@@ -299,7 +309,7 @@ impl RareDriver {
         cfg: &GraphRareConfig,
     ) -> Self {
         let baseline = telemetry::enabled().then(telemetry::snapshot);
-        Self::build(graph, sequences, split, backbone, cfg, baseline, false)
+        Self::build(graph, sequences, None, split, backbone, cfg, baseline, false)
     }
 
     /// Builds a driver destined for [`RareDriver::restore`]: identical to
@@ -314,8 +324,8 @@ impl RareDriver {
     ) -> Self {
         graphrare_tensor::parallel::set_threads(cfg.threads);
         let baseline = telemetry::enabled().then(telemetry::snapshot);
-        let sequences = Self::sequences_for(graph, cfg);
-        Self::build(graph, sequences, split, backbone, cfg, baseline, true)
+        let (sequences, engine) = Self::init_sequences(graph, cfg);
+        Self::build(graph, sequences, engine, split, backbone, cfg, baseline, true)
     }
 
     /// Lines 1–6: relative entropy and sequences, computed once. Fully
@@ -330,9 +340,31 @@ impl RareDriver {
         }
     }
 
+    /// Sequence construction, plus the incremental entropy engine when
+    /// `entropy_refresh_every > 0`. The engine owns its own copy of the
+    /// table and sequences and mirrors every edge flip the rewiring
+    /// applies, so a refresh boundary can re-rank against the *current*
+    /// graph at dirty-rows cost instead of a from-scratch rebuild.
+    fn init_sequences(
+        graph: &Graph,
+        cfg: &GraphRareConfig,
+    ) -> (EntropySequences, Option<IncrementalEntropy>) {
+        if cfg.entropy_refresh_every == 0 {
+            return (Self::sequences_for(graph, cfg), None);
+        }
+        let engine = IncrementalEntropy::new(graph, &cfg.entropy, cfg.sequences);
+        let seqs = match cfg.sequence_mode {
+            SequenceMode::Entropy => engine.sequences().clone(),
+            SequenceMode::Shuffled { seed } => engine.sequences().shuffled(seed),
+        };
+        (seqs, Some(engine))
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn build(
         graph: &Graph,
         sequences: EntropySequences,
+        engine: Option<IncrementalEntropy>,
         split: &Split,
         backbone: Backbone,
         cfg: &GraphRareConfig,
@@ -413,6 +445,7 @@ impl RareDriver {
         let best_params = trainer.snapshot();
         let best_graph = topo.base().clone();
         let base_edges = topo.base().num_edges();
+        let original = engine.is_some().then(|| graph.clone());
 
         Self {
             cfg: *cfg,
@@ -441,7 +474,17 @@ impl RareDriver {
             baseline,
             run_clock,
             run_span: Some(run_span),
+            engine,
+            original,
         }
+    }
+
+    /// The dataset's original graph `G_0`. With entropy refreshes the
+    /// optimiser re-anchors its base on rewired graphs, so `topo.base()`
+    /// stops being `G_0` after the first boundary; this accessor keeps the
+    /// report's `original_homophily` and the convergence guard honest.
+    fn original_graph(&self) -> &Graph {
+        self.original.as_ref().unwrap_or_else(|| self.topo.base())
     }
 
     /// Completed outer DRL steps.
@@ -477,7 +520,21 @@ impl RareDriver {
         let features = self.state.features();
         let (actions, logp, value) = self.agent.act(&features);
         self.state.apply(&actions);
-        self.rewired.apply(&self.topo, &self.state);
+        let delta = self.rewired.apply(&self.topo, &self.state);
+        if let Some(engine) = self.engine.as_mut() {
+            if !delta.is_empty() {
+                // Mirror the transition into the incremental engine so its
+                // H_s table and rankings track G_t at dirty-rows cost.
+                let _span = telemetry::span("rewire.entropy_refresh");
+                let flips: Vec<(usize, usize, bool)> = delta
+                    .removed
+                    .iter()
+                    .map(|&(u, v)| (u, v, false))
+                    .chain(delta.added.iter().map(|&(u, v)| (u, v, true)))
+                    .collect();
+                engine.apply_flips(&flips);
+            }
+        }
         let gt = self.rewired.tensors();
 
         // Lines 9–13: evaluate; fine-tune on improvement.
@@ -590,7 +647,43 @@ impl RareDriver {
         }
 
         self.step += 1;
+        if self.cfg.entropy_refresh_every > 0
+            && self.step.is_multiple_of(self.cfg.entropy_refresh_every)
+            && !self.is_done()
+        {
+            self.refresh_sequences();
+        }
         true
+    }
+
+    /// Refresh boundary: swap in rankings recomputed against the current
+    /// rewired graph (maintained incrementally by the engine) and
+    /// re-anchor the topology optimiser on it. The DRL counters reset —
+    /// the refreshed deletion sequences list *current* neighbours, so
+    /// `G_t` becomes the new `S_0` and the agent observes a state jump.
+    fn refresh_sequences(&mut self) {
+        let _span = telemetry::span("rewire.entropy_refresh");
+        let engine = self.engine.as_ref().expect("refresh_sequences requires the engine");
+        debug_assert_eq!(
+            engine.graph().edge_vec(),
+            self.rewired.graph().edge_vec(),
+            "incremental engine fell out of sync with the rewired graph"
+        );
+        let sequences = match self.cfg.sequence_mode {
+            SequenceMode::Entropy => engine.sequences().clone(),
+            SequenceMode::Shuffled { seed } => engine.sequences().shuffled(seed),
+        };
+        self.topo =
+            TopologyOptimizer::new(self.rewired.graph().clone(), sequences, self.cfg.edit_mode);
+        self.state =
+            TopoState::new(self.topo.k_bounds(self.cfg.k_cap), self.topo.d_bounds(self.cfg.k_cap));
+        self.rewired.rebase(&self.topo);
+        telemetry::counter("rewire.entropy_refreshes", 1);
+        telemetry::emit_with(|| {
+            telemetry::Event::new("sequence_refresh")
+                .u64("step", self.step as u64)
+                .u64("edges", self.rewired.num_edges() as u64)
+        });
     }
 
     /// Runs every remaining DRL step.
@@ -628,8 +721,8 @@ impl RareDriver {
         if final_graph.edge_vec() != self.best_graph.edge_vec() {
             candidates.push((final_graph, self.best_params.clone()));
         }
-        if self.best_graph.edge_vec() != self.topo.base().edge_vec() {
-            candidates.push((self.topo.base().clone(), self.warm_params.clone()));
+        if self.best_graph.edge_vec() != self.original_graph().edge_vec() {
+            candidates.push((self.original_graph().clone(), self.warm_params.clone()));
         }
         for (candidate, checkpoint) in candidates {
             self.trainer.restore(&checkpoint);
@@ -673,7 +766,7 @@ impl RareDriver {
             backbone: self.model.name(),
             test_acc: test_eval.accuracy,
             best_val_acc: self.best_val,
-            original_homophily: metrics::homophily_ratio(self.topo.base()),
+            original_homophily: metrics::homophily_ratio(self.original_graph()),
             optimized_homophily,
             traces: self.traces,
             optimized_graph: winner_graph,
@@ -716,6 +809,11 @@ impl RareDriver {
     /// before anything is mutated, so a failed restore leaves the driver
     /// untouched and never panics.
     pub fn restore(&mut self, snap: &DriverSnapshot) -> Result<(), String> {
+        if self.cfg.entropy_refresh_every > 0 {
+            return Err("snapshot/restore is not supported with entropy_refresh_every > 0 (the \
+                 incremental entropy engine's state is not captured by snapshots)"
+                .to_string());
+        }
         if snap.step > self.cfg.steps as u64 {
             return Err(format!(
                 "snapshot is at step {} but the config runs only {} steps",
@@ -1062,5 +1160,56 @@ mod tests {
         }
         let mut same = RareDriver::new_for_resume(&g, &split, Backbone::Gcn, &cfg);
         assert!(same.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn refresh_boundary_matches_fresh_build() {
+        let (g, split) = heterophilic_fixture();
+        let mut cfg = GraphRareConfig::fast().with_seed(23);
+        cfg.entropy_refresh_every = 1;
+        let mut driver = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        for _ in 0..3 {
+            assert!(driver.step());
+        }
+        // After each step a refresh boundary fired (refresh_every = 1), so
+        // the optimiser's rankings must equal a from-scratch build against
+        // the current rewired graph — the incremental engine's contract.
+        let current = driver.rewired.graph();
+        let table = RelativeEntropyTable::new(current, &cfg.entropy);
+        let fresh = EntropySequences::build(current, &table, &cfg.sequences);
+        assert_eq!(driver.topo.sequences(), &fresh);
+        assert_eq!(driver.topo.base().edge_vec(), current.edge_vec());
+        // And the re-anchored optimiser still drives a full run to completion.
+        driver.run_to_end();
+        let report = driver.finish();
+        assert_eq!(report.traces.train_acc.len(), cfg.steps);
+        assert_eq!(
+            report.original_homophily,
+            graphrare_graph::metrics::homophily_ratio(&g),
+            "original_homophily must be measured on G_0, not the re-anchored base"
+        );
+    }
+
+    #[test]
+    fn refresh_enabled_run_is_deterministic() {
+        let (g, split) = heterophilic_fixture();
+        let mut cfg = GraphRareConfig::fast().with_seed(29);
+        cfg.entropy_refresh_every = 4;
+        let a = run(&g, &split, Backbone::Gcn, &cfg);
+        let b = run(&g, &split, Backbone::Gcn, &cfg);
+        assert_reports_identical(&a, &b);
+        assert_eq!(a.traces.train_acc.len(), cfg.steps);
+    }
+
+    #[test]
+    fn restore_rejected_when_refresh_enabled() {
+        let (g, split) = heterophilic_fixture();
+        let mut cfg = GraphRareConfig::fast().with_seed(31);
+        cfg.entropy_refresh_every = 2;
+        let mut driver = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        driver.step();
+        let snap = driver.snapshot();
+        let err = driver.restore(&snap).unwrap_err();
+        assert!(err.contains("entropy_refresh_every"), "unexpected error: {err}");
     }
 }

@@ -162,6 +162,38 @@ impl RewiredGraph {
         }
     }
 
+    /// Re-anchors the instance on a *new* optimiser whose base graph is
+    /// exactly the current live graph (the entropy-refresh boundary: the
+    /// driver rebuilds sequences against `G_t` and makes `G_t` the new
+    /// `S_0`). All edit bookkeeping resets — counters, refcounts, risky
+    /// sets, caches — while the live graph and its warmed operator
+    /// caches carry over untouched, so no operator rebuild is paid.
+    ///
+    /// After this call the instance behaves exactly like
+    /// `RewiredGraph::new(topo)`: subsequent [`apply`](Self::apply)
+    /// calls must pass `topo` (and states sized for it).
+    pub fn rebase(&mut self, topo: &TopologyOptimizer) {
+        let base = topo.base();
+        debug_assert_eq!(
+            base.edge_vec(),
+            self.graph().edge_vec(),
+            "rebase: new optimiser base must equal the live graph"
+        );
+        let n = base.num_nodes();
+        self.k = vec![0; n];
+        self.d = vec![0; n];
+        self.base_deg = (0..n).map(|v| base.degree(v) as u32).collect();
+        self.add_ref = FxHashMap::default();
+        self.slated = FxHashMap::default();
+        self.r = vec![0; n];
+        self.risky = BTreeSet::new();
+        self.removed = FxHashSet::default();
+        self.kept = BTreeSet::new();
+        self.kept_cache = FxHashMap::default();
+        // `same_label` and `tensors` describe the live graph, which *is*
+        // the new base — nothing to recompute.
+    }
+
     /// The live `G_t`.
     pub fn graph(&self) -> &Graph {
         self.tensors.graph()
@@ -738,5 +770,46 @@ mod tests {
         assert!(delta.is_empty());
         assert!(!delta.resimulated);
         assert_matches_materialize(&rw, &topo, &state);
+    }
+
+    #[test]
+    fn rebase_reanchors_on_live_graph() {
+        // Drive the engine away from the base, then re-anchor it on a new
+        // optimiser whose base IS the live graph (the entropy-refresh
+        // boundary). Subsequent transitions must match materialize against
+        // the new optimiser exactly, with no operator rebuild in between.
+        let topo = path_optimizer(EditMode::Both);
+        let mut rw = RewiredGraph::new(&topo);
+        rw.tensors().gcn_norm();
+        let mut state = TopoState::new(topo.k_bounds(8), topo.d_bounds(8));
+        state.set_k(0, 2);
+        state.set_d(2, 1);
+        rw.apply(&topo, &state);
+        assert_matches_materialize(&rw, &topo, &state);
+        assert_ne!(rw.graph().edge_vec(), topo.base().edge_vec());
+
+        // Fresh sequences against the live graph, as refresh_sequences does.
+        let live = rw.graph().clone();
+        let table = RelativeEntropyTable::new(&live, &RelativeEntropyConfig::default());
+        let seqs = EntropySequences::build(
+            &live,
+            &table,
+            &SequenceConfig { pool: CandidatePool::RemoteRing { hops: 5 }, max_additions: 8 },
+        );
+        let topo2 = TopologyOptimizer::new(live, seqs, EditMode::Both);
+        rw.rebase(&topo2);
+        let mut state2 = TopoState::new(topo2.k_bounds(8), topo2.d_bounds(8));
+        // S_0 of the new anchoring: the live graph itself.
+        assert_matches_materialize(&rw, &topo2, &state2);
+        // And transitions resume from there, including walking back to the
+        // (new) base.
+        state2.set_k(3, 1);
+        state2.set_d(0, 1);
+        rw.apply(&topo2, &state2);
+        assert_matches_materialize(&rw, &topo2, &state2);
+        state2.reset();
+        rw.apply(&topo2, &state2);
+        assert_matches_materialize(&rw, &topo2, &state2);
+        assert_eq!(rw.graph().edge_vec(), topo2.base().edge_vec());
     }
 }

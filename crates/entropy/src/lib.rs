@@ -10,6 +10,8 @@
 //!   precomputed once before training.
 //! * [`sequences`] — per-node ranked addition/deletion candidate lists
 //!   (Sec. IV-A.4), the interface consumed by the topology optimiser.
+//! * [`incremental`] — maintains the table + sequences pair under edge
+//!   flips, recomputing only dirty rows (bit-identical to from-scratch).
 //!
 //! ```
 //! use graphrare_entropy::prelude::*;
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod feature;
+pub mod incremental;
 pub mod relative;
 pub mod sequences;
 pub mod structural;
@@ -39,6 +42,7 @@ pub mod structural;
 /// Convenient re-exports of the main types.
 pub mod prelude {
     pub use crate::feature::{Embedding, FeatureEntropyTable, Normalization};
+    pub use crate::incremental::{EntropyRefreshStats, IncrementalEntropy};
     pub use crate::relative::{RelativeEntropyConfig, RelativeEntropyTable};
     pub use crate::sequences::{CandidatePool, EntropySequences, SequenceConfig};
     pub use crate::structural::{structural_entropy, StructuralEntropyTable};

@@ -122,6 +122,26 @@ impl RelativeEntropyTable {
         self.feature_entropy(v, u) + self.lambda * self.structural_entropy(v, u)
     }
 
+    /// The structural component table.
+    pub fn structural_table(&self) -> &StructuralEntropyTable {
+        &self.structural
+    }
+
+    /// Refreshes exactly the given structural rows against the current
+    /// graph. The feature component depends only on node features, which
+    /// topology flips never touch, so it — and the frozen rescale range —
+    /// stays valid verbatim.
+    pub fn refresh_structural_rows(&mut self, g: &Graph, rows: &[usize]) {
+        self.structural.refresh_rows(g, rows);
+    }
+
+    /// Rebuilds the whole structural component from scratch (the
+    /// incremental engine's wholesale fallback). Feature side untouched,
+    /// for the same reason as [`Self::refresh_structural_rows`].
+    pub fn rebuild_structural(&mut self, g: &Graph) {
+        self.structural = StructuralEntropyTable::new(g);
+    }
+
     /// Dense `N x N` matrix of `H(v, u)` values (Fig. 8 visualisation;
     /// intended for small graphs).
     ///

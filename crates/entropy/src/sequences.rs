@@ -57,8 +57,80 @@ impl Default for SequenceConfig {
 /// One node's ranked `(candidate id, entropy)` list.
 type Ranking = Vec<(u32, f32)>;
 
+/// Descending entropy; node id breaks ties deterministically. Ids are
+/// unique within a pool, so this is a strict total order and unstable
+/// sorting/selection cannot reorder "equal" elements. `total_cmp` keeps
+/// the order total even when degenerate features drive an entropy to NaN
+/// (NaN ranks above every finite value in descending order —
+/// deterministic, never a panic).
+fn by_entropy_desc(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Ascending entropy: least-related first; ids ascending on ties.
+fn by_entropy_asc(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// Per-thread scratch for [`build_row`]: the BFS ring state and the
+/// candidate id buffer, reused across nodes so the node-parallel build
+/// allocates only its output rankings.
+pub(crate) struct BuildScratch {
+    ring: traversal::RingScratch,
+    candidates: Vec<usize>,
+}
+
+impl BuildScratch {
+    pub(crate) fn new() -> Self {
+        Self { ring: traversal::RingScratch::new(), candidates: Vec::new() }
+    }
+}
+
+/// Fills `scratch.candidates` with node `v`'s addition-candidate pool.
+fn candidates_into(g: &Graph, pool: CandidatePool, v: usize, scratch: &mut BuildScratch) {
+    scratch.candidates.clear();
+    match pool {
+        CandidatePool::RemoteRing { hops } => {
+            traversal::remote_ring_into(g, v, hops, &mut scratch.ring, &mut scratch.candidates);
+        }
+        CandidatePool::GlobalSample { per_node, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ v as u64);
+            scratch.candidates.extend(sample_non_neighbors(g, v, per_node, &mut rng));
+        }
+    }
+}
+
+/// Builds node `v`'s `(additions, deletions)` rankings — the single code
+/// path shared by the full build, the incremental engine's dirty-row
+/// rebuilds, and the wholesale fallback, which is what makes their
+/// outputs bit-identical by construction.
+pub(crate) fn build_row(
+    g: &Graph,
+    table: &RelativeEntropyTable,
+    cfg: &SequenceConfig,
+    v: usize,
+    scratch: &mut BuildScratch,
+) -> (Ranking, Ranking) {
+    candidates_into(g, cfg.pool, v, scratch);
+    let mut ranked: Vec<(u32, f32)> =
+        scratch.candidates.iter().map(|&u| (u as u32, table.entropy(v, u) as f32)).collect();
+    // Partial selection: move the top `max_additions` to the front in
+    // O(len), then sort only that prefix. With the total order above
+    // this equals a full sort + truncate.
+    if ranked.len() > cfg.max_additions {
+        ranked.select_nth_unstable_by(cfg.max_additions, by_entropy_desc);
+        ranked.truncate(cfg.max_additions);
+    }
+    ranked.sort_unstable_by(by_entropy_desc);
+
+    let mut dels: Vec<(u32, f32)> =
+        g.neighbors(v).map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
+    dels.sort_unstable_by(by_entropy_asc);
+    (ranked, dels)
+}
+
 /// Per-node ranked addition and deletion candidates.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EntropySequences {
     additions: Vec<Ranking>,
     deletions: Vec<Ranking>,
@@ -76,40 +148,10 @@ impl EntropySequences {
     pub fn build(g: &Graph, table: &RelativeEntropyTable, cfg: &SequenceConfig) -> Self {
         let clock = graphrare_telemetry::Stopwatch::start();
         let n = g.num_nodes();
-        // Descending entropy; node id breaks ties deterministically. Ids
-        // are unique within a pool, so this is a strict total order and
-        // unstable sorting/selection cannot reorder "equal" elements.
-        // `total_cmp` keeps the order total even when degenerate features
-        // drive an entropy to NaN (NaN ranks above every finite value in
-        // descending order — deterministic, never a panic).
-        let by_entropy_desc =
-            |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
-        let per_node: Vec<(Ranking, Ranking)> = graphrare_tensor::parallel::par_map(n, |v| {
-            let candidates: Vec<usize> = match cfg.pool {
-                CandidatePool::RemoteRing { hops } => traversal::remote_ring(g, v, hops),
-                CandidatePool::GlobalSample { per_node, seed } => {
-                    let mut rng = StdRng::seed_from_u64(seed ^ v as u64);
-                    sample_non_neighbors(g, v, per_node, &mut rng)
-                }
-            };
-            let mut ranked: Vec<(u32, f32)> =
-                candidates.into_iter().map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
-            // Partial selection: move the top `max_additions` to the
-            // front in O(len), then sort only that prefix. With the
-            // total order above this equals a full sort + truncate.
-            if ranked.len() > cfg.max_additions {
-                ranked.select_nth_unstable_by(cfg.max_additions, by_entropy_desc);
-                ranked.truncate(cfg.max_additions);
-            }
-            ranked.sort_unstable_by(by_entropy_desc);
-
-            let mut dels: Vec<(u32, f32)> =
-                g.neighbors(v).map(|u| (u as u32, table.entropy(v, u) as f32)).collect();
-            // Ascending entropy: least-related first; ids ascending
-            // on ties, same as the addition ranking.
-            dels.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            (ranked, dels)
-        });
+        let per_node: Vec<(Ranking, Ranking)> =
+            graphrare_tensor::parallel::par_map_scratch(n, BuildScratch::new, |scratch, v| {
+                build_row(g, table, cfg, v, scratch)
+            });
         let (additions, deletions) = per_node.into_iter().unzip();
         let build_ns = clock.ns();
         graphrare_telemetry::record_span("entropy.sequence_build", build_ns);
@@ -119,6 +161,28 @@ impl EntropySequences {
                 .u64("build_ns", build_ns)
         });
         Self { additions, deletions }
+    }
+
+    /// Rebuilds the rankings of exactly the given rows in place, using
+    /// the same per-row code path as [`EntropySequences::build`]. Rows
+    /// outside `0..len` are a contract violation (panics on index).
+    /// Used by the incremental engine for dirty-node refreshes.
+    pub(crate) fn rebuild_rows(
+        &mut self,
+        g: &Graph,
+        table: &RelativeEntropyTable,
+        cfg: &SequenceConfig,
+        rows: &[usize],
+    ) {
+        let rebuilt: Vec<(Ranking, Ranking)> = graphrare_tensor::parallel::par_map_scratch(
+            rows.len(),
+            BuildScratch::new,
+            |scratch, i| build_row(g, table, cfg, rows[i], scratch),
+        );
+        for (&v, (adds, dels)) in rows.iter().zip(rebuilt) {
+            self.additions[v] = adds;
+            self.deletions[v] = dels;
+        }
     }
 
     /// Number of nodes covered.
@@ -181,7 +245,12 @@ impl EntropySequences {
 /// over the remaining ids tops the sample up, so the function returns
 /// exactly `min(count, eligible)` candidates instead of silently
 /// under-sampling.
-fn sample_non_neighbors(g: &Graph, v: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+pub(crate) fn sample_non_neighbors(
+    g: &Graph,
+    v: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
     let n = g.num_nodes();
     let mut out = Vec::with_capacity(count);
     let mut tried = std::collections::HashSet::new();

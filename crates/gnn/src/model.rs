@@ -18,6 +18,12 @@ use graphrare_tensor::{AdjList, CsrMatrix, Matrix, Param, Tape, Var};
 pub struct GraphTensors {
     graph: Graph,
     features: Rc<Matrix>,
+    /// Incrementally maintained `d̂^{-1/2}` vector: only edit endpoints
+    /// change degree, so [`apply_edits`](GraphTensors::apply_edits) /
+    /// [`apply_flips`](GraphTensors::apply_flips) re-derive just those
+    /// entries and `gcn_norm` (re)builds skip their from-scratch degree
+    /// pass.
+    inv_sqrt: Vec<f32>,
     gcn: OnceCell<Rc<CsrMatrix>>,
     row: OnceCell<Rc<CsrMatrix>>,
     two_hop: OnceCell<Rc<CsrMatrix>>,
@@ -30,10 +36,26 @@ impl GraphTensors {
         Self {
             graph: g.clone(),
             features: Rc::new(g.features().clone()),
+            inv_sqrt: ops::inv_sqrt_degrees(g),
             gcn: OnceCell::new(),
             row: OnceCell::new(),
             two_hop: OnceCell::new(),
             attn: OnceCell::new(),
+        }
+    }
+
+    /// Re-derives the cached `d̂^{-1/2}` entries of the given endpoint
+    /// pairs from the (already mutated) snapshot graph. Idempotent for
+    /// unchanged degrees, so no-op edits in a batch are harmless.
+    fn refresh_inv_sqrt(&mut self, pairs: impl Iterator<Item = (usize, usize)>) {
+        let n = self.graph.num_nodes();
+        for (u, v) in pairs {
+            if u < n {
+                self.inv_sqrt[u] = ops::inv_sqrt_degree(&self.graph, u);
+            }
+            if v < n {
+                self.inv_sqrt[v] = ops::inv_sqrt_degree(&self.graph, v);
+            }
         }
     }
 
@@ -54,7 +76,9 @@ impl GraphTensors {
 
     /// GCN-normalised operator `D̂^{-1/2}(A+I)D̂^{-1/2}`.
     pub fn gcn_norm(&self) -> Rc<CsrMatrix> {
-        self.gcn.get_or_init(|| Rc::new(ops::gcn_norm(&self.graph))).clone()
+        self.gcn
+            .get_or_init(|| Rc::new(ops::gcn_norm_with_inv(&self.graph, &self.inv_sqrt)))
+            .clone()
     }
 
     /// Row-normalised adjacency `D^{-1}A`.
@@ -113,6 +137,7 @@ impl GraphTensors {
         edits.extend(removed.iter().map(|&(u, v)| (u, v, EdgeEdit::Remove)));
         edits.extend(added.iter().map(|&(u, v)| (u, v, EdgeEdit::Add)));
         self.graph.apply_edits(&edits);
+        self.refresh_inv_sqrt(edits.iter().map(|&(u, v, _)| (u, v)));
         if edits.len() * 2 > self.graph.num_nodes() {
             self.rebuild_built_operators();
         } else {
@@ -132,6 +157,7 @@ impl GraphTensors {
             return;
         }
         self.graph.apply_flips_sorted(flips);
+        self.refresh_inv_sqrt(flips.iter().map(|&(u, v, _)| (u, v)));
         if flips.len() * 2 > self.graph.num_nodes() {
             self.rebuild_built_operators();
         } else {
@@ -149,7 +175,7 @@ impl GraphTensors {
         let mut rebuilds = 0u64;
         if let Some(rc) = self.gcn.get_mut() {
             rebuilds += 1;
-            *rc = Rc::new(ops::gcn_norm(&self.graph));
+            *rc = Rc::new(ops::gcn_norm_with_inv(&self.graph, &self.inv_sqrt));
         }
         if let Some(rc) = self.two_hop.get_mut() {
             rebuilds += 1;
@@ -197,10 +223,12 @@ impl GraphTensors {
         if let Some(rc) = self.gcn.get_mut() {
             if dense_wide {
                 rebuilds += 1;
-                *rc = Rc::new(ops::gcn_norm(&self.graph));
+                *rc = Rc::new(ops::gcn_norm_with_inv(&self.graph, &self.inv_sqrt));
             } else {
-                let rows: Vec<(usize, Vec<(usize, f32)>)> =
-                    wide.iter().map(|&v| (v, ops::gcn_norm_row(&self.graph, v))).collect();
+                let rows: Vec<(usize, Vec<(usize, f32)>)> = wide
+                    .iter()
+                    .map(|&v| (v, ops::gcn_norm_row_with_inv(&self.graph, &self.inv_sqrt, v)))
+                    .collect();
                 rows_patched += rows.len() as u64;
                 let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
                 rows_inplace += n_in;
@@ -394,6 +422,26 @@ mod tests {
         // Large batch (2 * flips > n on the 4-node toy): wholesale rebuild.
         gt.apply_flips(&[(0, 2, false), (0, 3, true), (2, 3, true)]);
         assert_eq!(gt.graph().num_edges(), 4);
+        assert_matches_fresh(&gt);
+    }
+
+    #[test]
+    fn inv_sqrt_cache_tracks_degrees_bit_exactly() {
+        let mut gt = GraphTensors::new(&toy());
+        gt.gcn_norm();
+        // Batches with genuine flips, no-op edits, and a wholesale-sized
+        // batch; the cached vector must always equal the from-scratch pass.
+        gt.apply_edits(&[(1, 2)], &[(0, 3), (0, 1)]);
+        let check = |gt: &GraphTensors| {
+            let fresh = graphrare_graph::ops::inv_sqrt_degrees(gt.graph());
+            assert_eq!(gt.inv_sqrt.len(), fresh.len());
+            for (v, (a, b)) in gt.inv_sqrt.iter().zip(&fresh).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "inv_sqrt[{v}]");
+            }
+        };
+        check(&gt);
+        gt.apply_flips(&[(0, 2, true), (1, 2, true), (2, 3, false)]);
+        check(&gt);
         assert_matches_fresh(&gt);
     }
 

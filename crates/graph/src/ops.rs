@@ -9,9 +9,23 @@ use graphrare_tensor::{AdjList, CsrMatrix};
 
 use crate::graph::Graph;
 
+/// `d̂_v^{-1/2} = 1/sqrt(deg(v) + 1)` — the per-node factor of the GCN
+/// normalisation. Public so callers that maintain degrees incrementally
+/// (`GraphTensors`) can patch a cached vector instead of re-deriving it.
+#[inline]
+pub fn inv_sqrt_degree(g: &Graph, v: usize) -> f32 {
+    1.0 / ((g.degree(v) + 1) as f32).sqrt()
+}
+
 #[inline]
 fn inv_sqrt_deg(g: &Graph, v: usize) -> f32 {
-    1.0 / ((g.degree(v) + 1) as f32).sqrt()
+    inv_sqrt_degree(g, v)
+}
+
+/// The full `d̂^{-1/2}` vector — the from-scratch degree pass [`gcn_norm`]
+/// runs when no cached copy is supplied.
+pub fn inv_sqrt_degrees(g: &Graph) -> Vec<f32> {
+    (0..g.num_nodes()).map(|v| inv_sqrt_deg(g, v)).collect()
 }
 
 /// One row of [`gcn_norm`], sorted by column: the diagonal self-loop entry
@@ -35,6 +49,27 @@ pub fn gcn_norm_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
     row
 }
 
+/// [`gcn_norm_row`] fed by a caller-supplied `d̂^{-1/2}` vector (must
+/// equal [`inv_sqrt_degrees`] of `g`), so row patches reuse the cached
+/// degree factors instead of recomputing one per entry.
+pub fn gcn_norm_row_with_inv(g: &Graph, inv: &[f32], v: usize) -> Vec<(usize, f32)> {
+    let iv = inv[v];
+    let mut row = Vec::with_capacity(g.degree(v) + 1);
+    let mut self_placed = false;
+    for &u in g.neighbor_slice(v) {
+        let u = u as usize;
+        if !self_placed && u > v {
+            row.push((v, iv * iv));
+            self_placed = true;
+        }
+        row.push((u, iv * inv[u]));
+    }
+    if !self_placed {
+        row.push((v, iv * iv));
+    }
+    row
+}
+
 /// Symmetric GCN normalisation `D̂^{-1/2} (A + I) D̂^{-1/2}` with self-loops
 /// (Kipf & Welling 2017), the operator used by GCN and as the default
 /// propagation matrix elsewhere.
@@ -43,8 +78,15 @@ pub fn gcn_norm_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// [`gcn_norm_row`] evaluates per entry, so entries stay bit-identical) and
 /// assembles rows directly into CSR storage.
 pub fn gcn_norm(g: &Graph) -> CsrMatrix {
+    gcn_norm_with_inv(g, &inv_sqrt_degrees(g))
+}
+
+/// [`gcn_norm`] fed by a caller-supplied `d̂^{-1/2}` vector (must equal
+/// [`inv_sqrt_degrees`] of `g`), skipping the from-scratch degree pass —
+/// `GraphTensors` maintains that vector incrementally across edits.
+pub fn gcn_norm_with_inv(g: &Graph, inv: &[f32]) -> CsrMatrix {
     let n = g.num_nodes();
-    let inv: Vec<f32> = (0..n).map(|v| inv_sqrt_deg(g, v)).collect();
+    debug_assert_eq!(inv.len(), n, "inv_sqrt vector length mismatch");
     CsrMatrix::from_row_builder(n, n, |v, out| {
         let iv = inv[v];
         let mut self_placed = false;
@@ -290,6 +332,19 @@ mod tests {
             let th_row: Vec<(usize, f32)> = two.row_entries(v).collect();
             assert_eq!(row_norm_two_hop_row(&g, v), th_row, "two-hop row {v}");
             assert_eq!(attention_row(&g, v), attn.neighbors(v), "attention row {v}");
+        }
+    }
+
+    #[test]
+    fn with_inv_variants_match_base_builders() {
+        let g = triangle_plus_tail();
+        let inv = inv_sqrt_degrees(&g);
+        for (v, &iv) in inv.iter().enumerate() {
+            assert_eq!(iv.to_bits(), inv_sqrt_degree(&g, v).to_bits());
+        }
+        assert_eq!(gcn_norm_with_inv(&g, &inv), gcn_norm(&g));
+        for v in 0..g.num_nodes() {
+            assert_eq!(gcn_norm_row_with_inv(&g, &inv, v), gcn_norm_row(&g, v), "row {v}");
         }
     }
 

@@ -37,6 +37,95 @@ pub fn remote_ring(g: &Graph, v: usize, k: usize) -> Vec<usize> {
     k_hop_neighbors(g, v, k).into_iter().filter(|&(_, d)| d >= 2).map(|(u, _)| u).collect()
 }
 
+/// Reusable state for [`remote_ring_into`]: epoch-stamped visited marks
+/// plus a BFS queue, so repeated ring enumerations (one per node in
+/// `EntropySequences::build`) allocate nothing after warm-up.
+///
+/// The marks are compared against a per-call epoch instead of being
+/// cleared, so reuse costs O(ring) per call rather than O(n). A single
+/// scratch may be shared across graphs of different sizes; the mark
+/// vector grows lazily.
+#[derive(Debug, Default)]
+pub struct RingScratch {
+    mark: Vec<u64>,
+    epoch: u64,
+    queue: VecDeque<(u32, u32)>,
+}
+
+impl RingScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-free [`remote_ring`]: appends the distance-`[2, k]` ring of
+/// `v` to `out` in the same BFS discovery order `remote_ring` produces.
+/// `out` is *not* cleared — callers truncate or clear as needed.
+pub fn remote_ring_into(
+    g: &Graph,
+    v: usize,
+    k: usize,
+    scratch: &mut RingScratch,
+    out: &mut Vec<usize>,
+) {
+    let n = g.num_nodes();
+    if scratch.mark.len() < n {
+        scratch.mark.resize(n, 0);
+    }
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    scratch.queue.clear();
+    scratch.mark[v] = epoch;
+    scratch.queue.push_back((v as u32, 0));
+    while let Some((u, d)) = scratch.queue.pop_front() {
+        if d as usize == k {
+            continue;
+        }
+        for w in g.neighbors(u as usize) {
+            if scratch.mark[w] != epoch {
+                scratch.mark[w] = epoch;
+                if d + 1 >= 2 {
+                    out.push(w);
+                }
+                scratch.queue.push_back((w as u32, d + 1));
+            }
+        }
+    }
+}
+
+/// All nodes within `radius` hops of *any* source (sources included, at
+/// distance 0), as a sorted, deduplicated vector. This is the dirty-set
+/// primitive for incremental entropy: after a flip batch, ring
+/// membership can only change inside a bounded ball around the flipped
+/// endpoints.
+pub fn multi_source_ball(g: &Graph, sources: &[usize], radius: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s] == usize::MAX {
+            dist[s] = 0;
+            out.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if dist[u] == radius {
+            continue;
+        }
+        for w in g.neighbors(u) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[u] + 1;
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Connected components as a label vector (component ids are dense,
 /// assigned in order of the lowest node id in the component).
 pub fn connected_components(g: &Graph) -> Vec<usize> {
@@ -96,6 +185,35 @@ mod tests {
     fn k_zero_is_empty() {
         let g = path(3);
         assert!(k_hop_neighbors(&g, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn remote_ring_into_matches_remote_ring_across_reuse() {
+        let g = path(7);
+        let mut scratch = RingScratch::new();
+        let mut out = Vec::new();
+        for v in 0..7 {
+            for k in 0..5 {
+                out.clear();
+                remote_ring_into(&g, v, k, &mut scratch, &mut out);
+                assert_eq!(out, remote_ring(&g, v, k), "v={v} k={k}");
+            }
+        }
+        // The same scratch must stay correct on a different (larger) graph.
+        let g2 = path(12);
+        out.clear();
+        remote_ring_into(&g2, 0, 6, &mut scratch, &mut out);
+        assert_eq!(out, remote_ring(&g2, 0, 6));
+    }
+
+    #[test]
+    fn multi_source_ball_covers_union_of_balls() {
+        let g = path(8);
+        assert_eq!(multi_source_ball(&g, &[0], 2), vec![0, 1, 2]);
+        assert_eq!(multi_source_ball(&g, &[0, 5], 1), vec![0, 1, 4, 5, 6]);
+        // Duplicate sources are harmless; radius 0 returns the sources.
+        assert_eq!(multi_source_ball(&g, &[3, 3], 0), vec![3]);
+        assert!(multi_source_ball(&g, &[], 3).is_empty());
     }
 
     #[test]

@@ -176,6 +176,45 @@ where
     out
 }
 
+/// [`par_map`] with a per-thread scratch value: computes
+/// `(0..n).map(|i| f(&mut scratch, i)).collect()` where each thread owns
+/// one scratch created by `init()`, so hot closures can reuse buffers
+/// (visited marks, candidate vectors) instead of allocating per index.
+///
+/// Determinism contract: `f`'s output must not depend on what earlier
+/// indices left in the scratch — the scratch is an allocation cache, not
+/// a carry. Under that contract the result is bit-identical to the
+/// serial collect for any thread count, exactly like [`par_map`].
+pub fn par_map_scratch<T, S, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let (init, f) = (&init, &f);
+        let handles: Vec<_> = chunk_ranges(n, threads)
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    range.map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
+}
+
 /// Parallel fold over `0..n`: each thread folds its contiguous range in
 /// index order starting from `init()`, and the per-thread accumulators
 /// are merged left-to-right in range order. Deterministic for a fixed
@@ -240,6 +279,23 @@ mod tests {
         let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
         for t in [1, 2, 3, 8] {
             let par = with_threads(t, || par_map(97, |i| i * i));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_scratch_matches_serial_and_reuses_buffers() {
+        // The scratch is cleared per index, so output is scratch-independent;
+        // capacity growth proves the buffer is actually reused within a thread.
+        let serial: Vec<usize> = (0..61).map(|i| (0..i % 7).sum::<usize>()).collect();
+        for t in [1, 2, 3, 8] {
+            let par = with_threads(t, || {
+                par_map_scratch(61, Vec::<usize>::new, |buf, i| {
+                    buf.clear();
+                    buf.extend(0..i % 7);
+                    buf.iter().sum::<usize>()
+                })
+            });
             assert_eq!(par, serial, "threads={t}");
         }
     }

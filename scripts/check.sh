@@ -46,6 +46,15 @@ target/release/graphrare \
     --steps 6 --seed 1 --quiet \
     --telemetry-out "$smoke_dir/events.jsonl"
 target/release/telemetry_lint "$smoke_dir/events.jsonl"
+# Same smoke with entropy refreshes enabled, so the `entropy_refresh` and
+# `sequence_refresh` events pass through the lint too.
+target/release/graphrare \
+    --input "$smoke_dir/toy" \
+    --steps 6 --seed 1 --quiet --entropy-refresh-every 2 \
+    --telemetry-out "$smoke_dir/events_refresh.jsonl"
+target/release/telemetry_lint "$smoke_dir/events_refresh.jsonl"
+grep -q '"event": *"sequence_refresh"' "$smoke_dir/events_refresh.jsonl" ||
+    { echo "expected sequence_refresh events in the refresh-enabled smoke" >&2; exit 1; }
 
 echo "==> checkpoint/resume smoke (killed run must match uninterrupted run)"
 cargo build -q --release -p graphrare-bench --bin store_dump
@@ -70,5 +79,12 @@ cargo build -q --release -p graphrare-bench --bin bench_rewire
 # The binary lock-steps RewiredGraph against materialize + fresh tensors
 # over both action regimes and exits non-zero on any divergence.
 target/release/bench_rewire --quick --check-only --output "$smoke_dir/bench_rewire.json"
+
+echo "==> incremental entropy smoke (per-row refresh vs full rebuild must be bit-identical)"
+cargo build -q --release -p graphrare-bench --bin bench_entropy
+# The binary lock-steps IncrementalEntropy's per-row path against its
+# wholesale fallback (a from-scratch rebuild) over both candidate pools
+# and exits non-zero on any divergence in H bits or rankings.
+target/release/bench_entropy --quick --check-only --output "$smoke_dir/bench_entropy.json"
 
 echo "All checks passed."
