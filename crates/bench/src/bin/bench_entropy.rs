@@ -27,6 +27,10 @@ use std::time::Instant;
 
 use graphrare_telemetry as telemetry;
 
+// Attribute the refresh pipeline's allocation traffic (count/bytes/peak)
+// into BENCH_entropy.json alongside the timings.
+telemetry::install_counting_allocator!();
+
 use graphrare_datasets::{generate_spec, DatasetSpec};
 use graphrare_entropy::{CandidatePool, IncrementalEntropy, RelativeEntropyConfig, SequenceConfig};
 use graphrare_graph::Graph;
@@ -208,9 +212,11 @@ fn main() {
         i += 1;
     }
 
+    telemetry::install_panic_hook();
     telemetry::init_from_env();
     telemetry::set_enabled(true);
     let counter_base = telemetry::snapshot();
+    let alloc_base = telemetry::alloc::snapshot();
 
     let sizes: &[usize] = if quick { &[300] } else { &[500, 2_000, 5_000] };
     let pools: &[CandidatePool] = &[
@@ -278,6 +284,7 @@ fn main() {
     }
 
     let counters = telemetry::snapshot().since(&counter_base);
+    let alloc = telemetry::alloc::snapshot();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -295,6 +302,13 @@ fn main() {
         let _ = write!(json, ": {value}");
     }
     json.push_str("\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"alloc\": {{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}},",
+        alloc.count.saturating_sub(alloc_base.count),
+        alloc.bytes.saturating_sub(alloc_base.bytes),
+        alloc.peak_bytes
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -319,4 +333,5 @@ fn main() {
         std::process::exit(1);
     }
     telemetry::progress!("wrote {}", output.display());
+    telemetry::clear_sinks();
 }

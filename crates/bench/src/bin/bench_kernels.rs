@@ -26,6 +26,10 @@ use std::time::Instant;
 
 use graphrare_telemetry as telemetry;
 
+// Attribute kernel allocation traffic (count/bytes/peak) into
+// BENCH_kernels.json alongside the timings.
+telemetry::install_counting_allocator!();
+
 use graphrare_entropy::{
     CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
 };
@@ -105,9 +109,11 @@ fn main() {
     // Count kernel invocations over the whole run; the per-call cost is
     // one relaxed load + a counter bump, noise next to the timed 1024³
     // matmul. `init_from_env` still honours GRAPHRARE_TELEMETRY sinks.
+    telemetry::install_panic_hook();
     telemetry::init_from_env();
     telemetry::set_enabled(true);
     let counter_base = telemetry::snapshot();
+    let alloc_base = telemetry::alloc::snapshot();
 
     let available = parallel::available_threads();
     let threads_env = std::env::var("GRAPHRARE_THREADS").ok();
@@ -174,6 +180,7 @@ fn main() {
     }
 
     let counters = telemetry::snapshot().since(&counter_base);
+    let alloc = telemetry::alloc::snapshot();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -196,6 +203,13 @@ fn main() {
         let _ = write!(json, ": {value}");
     }
     json.push_str("\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"alloc\": {{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}},",
+        alloc.count.saturating_sub(alloc_base.count),
+        alloc.bytes.saturating_sub(alloc_base.bytes),
+        alloc.peak_bytes
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -212,4 +226,5 @@ fn main() {
         std::process::exit(1);
     }
     telemetry::progress!("wrote {}", output.display());
+    telemetry::clear_sinks();
 }

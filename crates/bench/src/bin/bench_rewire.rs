@@ -37,6 +37,10 @@ use graphrare_graph::metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// Heap accounting for the benchmark report: `BENCH_rewire.json` carries
+// allocation count/bytes/peak alongside the timing numbers.
+graphrare_telemetry::install_counting_allocator!();
+
 struct SizeRecord {
     regime: &'static str,
     n: usize,
@@ -187,9 +191,11 @@ fn main() {
         i += 1;
     }
 
+    telemetry::install_panic_hook();
     telemetry::init_from_env();
     telemetry::set_enabled(true);
     let counter_base = telemetry::snapshot();
+    let alloc_base = telemetry::alloc::snapshot();
 
     let sizes: &[(usize, Regime)] = if quick {
         &[(300, Regime::Dense), (300, Regime::Sparse)]
@@ -294,6 +300,7 @@ fn main() {
     }
 
     let counters = telemetry::snapshot().since(&counter_base);
+    let alloc = telemetry::alloc::snapshot();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -311,6 +318,15 @@ fn main() {
         let _ = write!(json, ": {value}");
     }
     json.push_str("\n  },\n");
+    // Heap traffic across the whole benchmark (counting allocator);
+    // peak is the process high-water mark, not a delta.
+    let _ = writeln!(
+        json,
+        "  \"alloc\": {{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}},",
+        alloc.count.saturating_sub(alloc_base.count),
+        alloc.bytes.saturating_sub(alloc_base.bytes),
+        alloc.peak_bytes
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -328,4 +344,6 @@ fn main() {
         std::process::exit(1);
     }
     telemetry::progress!("wrote {}", output.display());
+    // Flush any GRAPHRARE_TELEMETRY-configured JSONL sink before exit.
+    telemetry::clear_sinks();
 }

@@ -7,9 +7,13 @@
 //!
 //! The validator re-uses the schema checks of
 //! [`graphrare_telemetry::json`]: every line must parse as RFC 8259
-//! JSON and carry the `"v"` schema version plus an `"event"` kind.
-//! `--make-fixture` exists so `scripts/check.sh` can smoke the CLI's
-//! `--telemetry-out` flag without shipping a data file.
+//! JSON and carry an accepted `"v"` schema version (v1 or v2) plus an
+//! `"event"` kind. v2 `span` events additionally must carry well-formed
+//! `span_id`/`parent_id`/`path`/`ns` fields, and the stream as a whole
+//! must form a closed span tree — a `parent_id` that never appears as a
+//! `span_id` (a truncated trace) fails the lint. `--make-fixture`
+//! exists so `scripts/check.sh` can smoke the CLI's `--telemetry-out`
+//! flag without shipping a data file.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -51,7 +55,9 @@ fn main() -> ExitCode {
         [flag, prefix] if flag == "--make-fixture" => make_fixture(&PathBuf::from(prefix)),
         [path] if !path.starts_with("--") => match json::validate_jsonl_file(Path::new(path)) {
             Ok(n) => {
-                println!("{path}: {n} events, schema v{}", graphrare_telemetry::SCHEMA_VERSION);
+                let accepted: Vec<String> =
+                    json::ACCEPTED_VERSIONS.iter().map(|v| format!("v{v}")).collect();
+                println!("{path}: {n} events, span tree closed, schema {}", accepted.join("/"));
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -54,6 +54,10 @@ use graphrare_graph::{io, metrics, Graph};
 use graphrare_store::write_atomic;
 use graphrare_telemetry::{self as telemetry, progress};
 
+// Opt into allocation accounting: span paths in `--telemetry` output
+// carry alloc count/bytes/peak attribution.
+graphrare_telemetry::install_counting_allocator!();
+
 struct Args {
     input: PathBuf,
     output: Option<PathBuf>,
@@ -298,6 +302,16 @@ fn run_checkpointed(
 }
 
 fn main() -> ExitCode {
+    // Crash-safe traces: the hook flushes JSONL sinks before unwinding.
+    telemetry::install_panic_hook();
+    let code = run_main();
+    // Sinks are buffered and live in statics (never dropped): flush on
+    // every exit path so --telemetry-out files are complete.
+    telemetry::clear_sinks();
+    code
+}
+
+fn run_main() -> ExitCode {
     let args = parse_args();
     telemetry::init_from_env();
     if args.quiet {

@@ -515,7 +515,7 @@ impl RareDriver {
         }
         let t = self.step;
         let iter_clock = telemetry::Stopwatch::start();
-        let _iter_span = telemetry::span("driver.iter");
+        let _iter_span = telemetry::span("driver.step");
         // DRL step: act on S_t, transition to S_{t+1} (Eq. 10), rebuild G.
         let features = self.state.features();
         let (actions, logp, value) = self.agent.act(&features);
@@ -758,9 +758,11 @@ impl RareDriver {
                 .f64("optimized_homophily", optimized_homophily)
                 .u64("wall_ns", self.run_clock.ns())
         });
-        telemetry::flush();
-        // Close the run span before the snapshot so the aggregate includes it.
+        // Close the run span before the snapshot (so the aggregate
+        // includes it) and before the flush (its drop emits the
+        // `driver.run` span event, which must land in the JSONL stream).
         drop(self.run_span.take());
+        telemetry::flush();
 
         RareReport {
             backbone: self.model.name(),

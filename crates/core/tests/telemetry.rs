@@ -1,7 +1,10 @@
 //! Telemetry integration contract: the registry is strictly
-//! observational (bit-identical reports on/off), the JSONL stream
-//! carries one schema-stable `iter` event per outer DRL iteration, and
-//! the run-scoped aggregate lands in [`RareReport::telemetry`].
+//! observational (bit-identical reports on/off — including with the
+//! counting allocator and hierarchical spans active), the JSONL stream
+//! carries one schema-stable `iter` event per outer DRL iteration plus
+//! v2 `span` events, and the run-scoped aggregate lands in
+//! [`RareReport::telemetry`] with per-path self time and exact
+//! percentiles.
 
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -12,6 +15,10 @@ use graphrare_gnn::Backbone;
 use graphrare_graph::Graph;
 use graphrare_telemetry as telemetry;
 use graphrare_telemetry::json::{self, Json};
+
+// This test binary opts into allocation accounting, so the bit-identity
+// assertions below also prove the counting allocator perturbs nothing.
+graphrare_telemetry::install_counting_allocator!();
 
 /// The registry is process-global; tests that flip it on must not
 /// interleave with each other.
@@ -86,11 +93,40 @@ fn reports_are_bit_identical_with_telemetry_on_and_off() {
     let summary = on.telemetry.as_ref().expect("enabled run records an aggregate");
     assert_eq!(summary.counter("driver.iters"), cfg.steps as u64);
     assert_eq!(summary.span("driver.run").expect("driver.run span").count, 1);
-    assert_eq!(summary.span("driver.iter").expect("driver.iter span").count, cfg.steps as u64);
+    assert_eq!(summary.span("driver.step").expect("driver.step span").count, cfg.steps as u64);
     assert!(summary.counter("kernel.matmul.calls") > 0, "no matmul kernel events");
     assert!(summary.counter("kernel.spmm.calls") > 0, "no spmm kernel events");
     assert!(summary.counter("train.epochs") > 0, "no trainer epochs recorded");
     assert!(summary.span("entropy.sequence_build").is_some(), "entropy build not spanned");
+
+    // Hierarchical profile: spans aggregate per call path with self
+    // time, exact percentiles (count < reservoir capacity here) and —
+    // since this binary installs the counting allocator — allocation
+    // attribution.
+    let step = summary.path("driver.run/driver.step").expect("driver.step path");
+    assert_eq!(step.count, cfg.steps as u64);
+    assert_eq!(step.sampled, step.count, "percentiles must be exact at this count");
+    assert!(step.p50_ns > 0 && step.p50_ns <= step.p90_ns && step.p90_ns <= step.p99_ns);
+    assert!(step.self_ns <= step.total_ns);
+    let apply = summary.path("driver.run/driver.step/rewire.apply").expect("rewire.apply path");
+    assert_eq!(apply.count, cfg.steps as u64);
+    assert!(apply.self_ns <= apply.total_ns && apply.p99_ns > 0);
+    assert!(
+        summary
+            .path("driver.run/driver.step/rewire.apply/rewire.operators")
+            .is_some_and(|p| p.count == cfg.steps as u64),
+        "rewire.operators must nest under rewire.apply"
+    );
+    // The entropy precompute runs before the driver.run span opens, so
+    // its spans are roots; the feature/structural tables nest nowhere.
+    let build =
+        summary.paths_named("entropy.sequence_build").next().expect("entropy.sequence_build path");
+    assert!(build.p50_ns > 0 && build.self_ns > 0);
+    assert!(summary.path("entropy.feature_table").is_some(), "precompute spans are roots");
+    // Allocation accounting is live in this binary and attributed.
+    assert!(graphrare_telemetry::alloc::active(), "counting allocator not installed");
+    assert!(step.alloc_count > 0, "driver.step attributed no allocations");
+    assert!(step.alloc_bytes > 0);
 
     // One iter event per outer iteration, with the Algorithm-1 fields.
     let events = events.lock().unwrap();
@@ -137,7 +173,7 @@ fn jsonl_stream_is_schema_valid_with_one_iter_event_per_step() {
     // Golden schema: the version stamp and event kind lead every line.
     for line in text.lines() {
         assert!(
-            line.starts_with("{\"v\":1,\"event\":\""),
+            line.starts_with("{\"v\":2,\"event\":\""),
             "line does not lead with schema header: {line}"
         );
     }
@@ -162,7 +198,32 @@ fn jsonl_stream_is_schema_valid_with_one_iter_event_per_step() {
     for expected in ["entropy_table", "entropy_sequences", "run_start", "run_end"] {
         assert!(kinds.iter().any(|k| k == expected), "missing {expected} event");
     }
-    assert_eq!(kinds.last().map(String::as_str), Some("run_end"));
+    // The `driver.run` guard drops after the run_end event (so the
+    // aggregate includes it), making its span event the final line.
+    assert_eq!(kinds.last().map(String::as_str), Some("span"));
+    let last = lines.last().unwrap();
+    assert_eq!(last.get("name").and_then(Json::as_str), Some("driver.run"));
+    assert_eq!(last.get("path").and_then(Json::as_str), Some("driver.run"));
+    assert!(last.get("parent_id").is_none(), "driver.run is a root span");
+
+    // Span events form a complete tree: every driver.step span is a
+    // child of the driver.run span, and validate_jsonl_file above
+    // already proved no parent_id is orphaned.
+    let spans: Vec<&Json> = lines.iter().filter(|j| kind(j) == "span").collect();
+    let run_id = last.get("span_id").and_then(Json::as_f64).unwrap();
+    let steps: Vec<&&Json> = spans
+        .iter()
+        .filter(|j| j.get("name").and_then(Json::as_str) == Some("driver.step"))
+        .collect();
+    assert_eq!(steps.len(), cfg.steps, "one span event per driver.step");
+    for s in &steps {
+        assert_eq!(s.get("parent_id").and_then(Json::as_f64), Some(run_id));
+        assert_eq!(s.get("path").and_then(Json::as_str), Some("driver.run/driver.step"));
+        let ns = s.get("ns").and_then(Json::as_f64).unwrap();
+        let self_ns = s.get("self_ns").and_then(Json::as_f64).unwrap();
+        assert!(self_ns <= ns, "self time exceeds wall time");
+        assert!(s.get("start_ns").and_then(Json::as_f64).is_some());
+    }
 
     let _ = std::fs::remove_file(&path);
 }

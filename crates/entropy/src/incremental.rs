@@ -162,6 +162,11 @@ impl IncrementalEntropy {
         if genuine.is_empty() {
             return EntropyRefreshStats::default();
         }
+        // Open the guard only once genuine work is known to happen, so
+        // no-op calls record no refresh span (matching the old direct
+        // `record_span` semantics). A wholesale fallback's full
+        // sequence rebuild nests under this span in the trace.
+        let _span = graphrare_telemetry::span("entropy.incremental_refresh");
 
         let mut endpoints: Vec<usize> = genuine.iter().flat_map(|&(u, v, _)| [u, v]).collect();
         endpoints.sort_unstable();
@@ -231,7 +236,6 @@ impl IncrementalEntropy {
         graphrare_telemetry::counter("entropy.rows_dirty", stats.rows_dirty as u64);
         graphrare_telemetry::counter("entropy.rows_rebuilt", stats.rows_rebuilt as u64);
         let refresh_ns = clock.ns();
-        graphrare_telemetry::record_span("entropy.incremental_refresh", refresh_ns);
         graphrare_telemetry::emit_with(|| {
             graphrare_telemetry::Event::new("entropy_refresh")
                 .u64("flips", genuine.len() as u64)

@@ -58,17 +58,28 @@ pub struct RelativeEntropyTable {
 impl RelativeEntropyTable {
     /// Computes both entropy components for `g`.
     pub fn new(g: &Graph, cfg: &RelativeEntropyConfig) -> Self {
+        // Scoped guards give each build phase its own node in the span
+        // tree; the stopwatch laps only feed the summary event below.
         let mut clock = graphrare_telemetry::Stopwatch::start();
-        let feature = FeatureEntropyTable::new(g, cfg.embedding, cfg.normalization);
+        let feature = {
+            let _span = graphrare_telemetry::span("entropy.feature_table");
+            FeatureEntropyTable::new(g, cfg.embedding, cfg.normalization)
+        };
         let feature_ns = clock.lap_ns();
-        let structural = StructuralEntropyTable::new(g);
+        let structural = {
+            let _span = graphrare_telemetry::span("entropy.structural_table");
+            StructuralEntropyTable::new(g)
+        };
         let structural_ns = clock.lap_ns();
-        let (f_offset, f_scale) =
-            if cfg.rescale_feature { feature_range(&feature, g.num_nodes()) } else { (0.0, 1.0) };
+        let (f_offset, f_scale) = {
+            let _span = graphrare_telemetry::span("entropy.feature_range");
+            if cfg.rescale_feature {
+                feature_range(&feature, g.num_nodes())
+            } else {
+                (0.0, 1.0)
+            }
+        };
         let range_ns = clock.lap_ns();
-        graphrare_telemetry::record_span("entropy.feature_table", feature_ns);
-        graphrare_telemetry::record_span("entropy.structural_table", structural_ns);
-        graphrare_telemetry::record_span("entropy.feature_range", range_ns);
         graphrare_telemetry::emit_with(|| {
             graphrare_telemetry::Event::new("entropy_table")
                 .u64("nodes", g.num_nodes() as u64)

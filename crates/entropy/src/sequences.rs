@@ -146,6 +146,7 @@ impl EntropySequences {
     /// independent of visit order — the output is identical for any
     /// thread count.
     pub fn build(g: &Graph, table: &RelativeEntropyTable, cfg: &SequenceConfig) -> Self {
+        let _span = graphrare_telemetry::span("entropy.sequence_build");
         let clock = graphrare_telemetry::Stopwatch::start();
         let n = g.num_nodes();
         let per_node: Vec<(Ranking, Ranking)> =
@@ -154,7 +155,6 @@ impl EntropySequences {
             });
         let (additions, deletions) = per_node.into_iter().unzip();
         let build_ns = clock.ns();
-        graphrare_telemetry::record_span("entropy.sequence_build", build_ns);
         graphrare_telemetry::emit_with(|| {
             graphrare_telemetry::Event::new("entropy_sequences")
                 .u64("nodes", n as u64)

@@ -1,10 +1,10 @@
 //! The structured event schema emitted to telemetry sinks.
 //!
 //! Every event serialises to one JSON object per line (JSONL). The
-//! schema is versioned: each line carries `"v": 1` and an `"event"`
-//! discriminator, followed by flat key/value fields. Consumers must
-//! ignore unknown keys; producers may add keys but never remove or
-//! retype existing ones within a schema version.
+//! schema is versioned: each line carries `"v"` ([`SCHEMA_VERSION`])
+//! and an `"event"` discriminator, followed by flat key/value fields.
+//! Consumers must ignore unknown keys; producers may add keys but
+//! never remove or retype existing ones within a schema version.
 
 use std::fmt::Write as _;
 
@@ -12,7 +12,12 @@ use std::fmt::Write as _;
 ///
 /// Bump only when an existing key is removed or changes type; adding
 /// keys or event kinds is backwards-compatible within a version.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 — flat events (`iter`, `run_end`, `entropy_*`, …);
+/// v2 — adds the hierarchical `span` event (`span_id`, optional
+/// `parent_id`, `path`, `ns`, `self_ns`, `start_ns`, optional
+/// `alloc_n`/`alloc_bytes`). Consumers accept both.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A single telemetry field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,7 +99,7 @@ impl Event {
     }
 
     /// Serialises the event as one JSONL line (no trailing newline):
-    /// `{"v":1,"event":"<kind>",...fields...}`.
+    /// `{"v":2,"event":"<kind>",...fields...}`.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(64 + 16 * self.fields.len());
         let _ = write!(out, "{{\"v\":{SCHEMA_VERSION},\"event\":");
@@ -151,7 +156,7 @@ mod tests {
     #[test]
     fn json_line_is_stable() {
         // Golden encoding: pins the field order, version stamp and
-        // number formatting of the v1 schema.
+        // number formatting of the current schema.
         let e = Event::new("iter")
             .u64("step", 3)
             .f64("reward", 0.5)
@@ -160,7 +165,7 @@ mod tests {
             .str("phase", "drl");
         assert_eq!(
             e.to_json_line(),
-            "{\"v\":1,\"event\":\"iter\",\"step\":3,\"reward\":0.5,\
+            "{\"v\":2,\"event\":\"iter\",\"step\":3,\"reward\":0.5,\
              \"edge_delta\":-2,\"finetuned\":true,\"phase\":\"drl\"}"
         );
     }
@@ -168,13 +173,13 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         let e = Event::new("x").f64("nan", f64::NAN).f64("inf", f64::INFINITY);
-        assert_eq!(e.to_json_line(), "{\"v\":1,\"event\":\"x\",\"nan\":null,\"inf\":null}");
+        assert_eq!(e.to_json_line(), "{\"v\":2,\"event\":\"x\",\"nan\":null,\"inf\":null}");
     }
 
     #[test]
     fn strings_are_escaped() {
         let e = Event::new("x").str("s", "a\"b\\c\nd\u{1}");
-        assert_eq!(e.to_json_line(), "{\"v\":1,\"event\":\"x\",\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+        assert_eq!(e.to_json_line(), "{\"v\":2,\"event\":\"x\",\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
     }
 
     #[test]

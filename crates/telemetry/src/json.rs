@@ -251,36 +251,98 @@ impl Parser<'_> {
     }
 }
 
-/// Validates one JSONL event line: parses it, and checks it is an
-/// object carrying the `"v"` schema version and an `"event"` string.
+/// Schema versions a consumer accepts: v1 (flat events) and v2 (adds
+/// the hierarchical `span` event). See [`SCHEMA_VERSION`] history.
+pub const ACCEPTED_VERSIONS: [u32; 2] = [1, SCHEMA_VERSION];
+
+/// Reads a field as a non-negative integer (the schema emits all ids,
+/// counts and durations as u64, well below 2^53).
+fn get_u64(value: &Json, key: &str) -> Option<u64> {
+    let x = value.get(key)?.as_f64()?;
+    (x.is_finite() && x >= 0.0 && x.fract() == 0.0).then_some(x as u64)
+}
+
+/// Validates one JSONL event line: parses it, checks it is an object
+/// carrying an accepted `"v"` schema version and an `"event"` string,
+/// and — for v2 `span` events — checks the required span fields
+/// (`name`, `span_id`, `path`, `ns`; `parent_id` when present must be
+/// a positive integer).
 pub fn validate_event_line(line: &str) -> Result<Json, String> {
     let value = parse(line)?;
     match value.get("v").and_then(Json::as_f64) {
-        Some(v) if v == SCHEMA_VERSION as f64 => {}
-        Some(v) => return Err(format!("schema version {v} != {SCHEMA_VERSION}")),
+        Some(v) if ACCEPTED_VERSIONS.iter().any(|&a| v == a as f64) => {}
+        Some(v) => return Err(format!("schema version {v} not in {ACCEPTED_VERSIONS:?}")),
         None => return Err("missing \"v\" schema-version field".into()),
     }
-    if value.get("event").and_then(Json::as_str).is_none() {
-        return Err("missing \"event\" kind field".into());
+    let kind = match value.get("event").and_then(Json::as_str) {
+        Some(kind) => kind,
+        None => return Err("missing \"event\" kind field".into()),
+    };
+    if kind == "span" {
+        if value.get("name").and_then(Json::as_str).is_none() {
+            return Err("span event: missing string \"name\"".into());
+        }
+        match get_u64(&value, "span_id") {
+            Some(id) if id > 0 => {}
+            Some(_) => return Err("span event: \"span_id\" must be positive".into()),
+            None => return Err("span event: missing integer \"span_id\"".into()),
+        }
+        if value.get("parent_id").is_some() && get_u64(&value, "parent_id").is_none_or(|p| p == 0) {
+            return Err("span event: \"parent_id\" must be a positive integer".into());
+        }
+        if value.get("path").and_then(Json::as_str).is_none() {
+            return Err("span event: missing string \"path\"".into());
+        }
+        if get_u64(&value, "ns").is_none() {
+            return Err("span event: missing integer \"ns\"".into());
+        }
     }
     Ok(value)
 }
 
-/// Validates a whole JSONL file; returns the number of events, or the
-/// first offending line's error. Blank lines are rejected — every line
-/// of a telemetry stream must be an event.
+/// Validates a whole JSONL event stream (already split into parsed
+/// lines by [`validate_jsonl_file`]): every `parent_id` must refer to a
+/// `span_id` that appears somewhere in the stream. Children drop (and
+/// therefore emit) before their parents, so a truncated trace — parent
+/// never emitted — is detected here as an orphaned parent id.
+pub fn validate_span_stream(events: &[Json]) -> Result<(), String> {
+    let mut ids = std::collections::BTreeSet::new();
+    for e in events {
+        if e.get("event").and_then(Json::as_str) == Some("span") {
+            ids.extend(get_u64(e, "span_id"));
+        }
+    }
+    for (idx, e) in events.iter().enumerate() {
+        if e.get("event").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        if let Some(parent) = get_u64(e, "parent_id") {
+            if !ids.contains(&parent) {
+                return Err(format!(
+                    "line {}: orphaned parent_id {parent} (no such span_id in stream)",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL file — every line an accepted event, no
+/// blank lines, no orphaned span parent ids — and returns the number
+/// of events, or the first offending line's error.
 pub fn validate_jsonl_file(path: &Path) -> Result<usize, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut count = 0;
+    let mut events = Vec::new();
     for (idx, line) in text.lines().enumerate() {
-        validate_event_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        count += 1;
+        events.push(validate_event_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
     }
-    if count == 0 {
+    if events.is_empty() {
         return Err(format!("{}: no events", path.display()));
     }
-    Ok(count)
+    validate_span_stream(&events)?;
+    Ok(events.len())
 }
 
 #[cfg(test)]
@@ -342,5 +404,58 @@ mod tests {
         assert!(validate_event_line("{\"event\":\"x\"}").is_err());
         assert!(validate_event_line("{\"v\":1}").is_err());
         assert!(validate_event_line("not json").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_both_schema_versions() {
+        assert!(validate_event_line("{\"v\":1,\"event\":\"iter\",\"step\":3}").is_ok());
+        assert!(validate_event_line("{\"v\":2,\"event\":\"iter\",\"step\":3}").is_ok());
+    }
+
+    #[test]
+    fn validate_checks_span_event_fields() {
+        let ok = "{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":3,\
+                  \"parent_id\":1,\"path\":\"r/a\",\"ns\":42,\"self_ns\":42,\"start_ns\":7}";
+        assert!(validate_event_line(ok).is_ok());
+        let root = "{\"v\":2,\"event\":\"span\",\"name\":\"r\",\"span_id\":1,\
+                    \"path\":\"r\",\"ns\":100}";
+        assert!(validate_event_line(root).is_ok(), "parent_id is optional for roots");
+        for (bad, why) in [
+            ("{\"v\":2,\"event\":\"span\",\"span_id\":1,\"path\":\"a\",\"ns\":1}", "no name"),
+            ("{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"path\":\"a\",\"ns\":1}", "no span_id"),
+            (
+                "{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":0,\"path\":\"a\",\"ns\":1}",
+                "zero span_id",
+            ),
+            ("{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":1,\"ns\":1}", "no path"),
+            ("{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":1,\"path\":\"a\"}", "no ns"),
+            (
+                "{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":1,\
+                 \"parent_id\":1.5,\"path\":\"a\",\"ns\":1}",
+                "fractional parent_id",
+            ),
+        ] {
+            assert!(validate_event_line(bad).is_err(), "accepted span with {why}");
+        }
+    }
+
+    #[test]
+    fn span_stream_validation_rejects_orphans() {
+        let parse_all = |lines: &[&str]| -> Vec<Json> {
+            lines.iter().map(|l| validate_event_line(l).unwrap()).collect()
+        };
+        let complete = parse_all(&[
+            "{\"v\":2,\"event\":\"span\",\"name\":\"b\",\"span_id\":2,\
+             \"parent_id\":1,\"path\":\"a/b\",\"ns\":5}",
+            "{\"v\":2,\"event\":\"span\",\"name\":\"a\",\"span_id\":1,\"path\":\"a\",\"ns\":9}",
+            "{\"v\":2,\"event\":\"run_end\",\"steps\":1}",
+        ]);
+        assert!(validate_span_stream(&complete).is_ok());
+        // Truncated trace: the parent span never emitted (still open at
+        // the crash), so its id appears only as a parent_id.
+        let truncated = parse_all(&["{\"v\":2,\"event\":\"span\",\"name\":\"b\",\"span_id\":2,\
+             \"parent_id\":1,\"path\":\"a/b\",\"ns\":5}"]);
+        let err = validate_span_stream(&truncated).unwrap_err();
+        assert!(err.contains("orphaned parent_id 1"), "{err}");
     }
 }

@@ -9,19 +9,30 @@
 //! ## Model
 //!
 //! * **Spans** ([`span`], [`SpanGuard`]) measure wall time with RAII
-//!   guards and aggregate per name (count / total / min / max plus a
-//!   duration histogram).
+//!   guards, aggregate per name (count / total / min / max plus a
+//!   duration histogram), and are **hierarchical**: a per-thread span
+//!   stack gives every span a `span_id`/`parent_id` and a call *path*
+//!   aggregated in per-path profiles with self time and exact
+//!   reservoir-sampled p50/p90/p99 percentiles.
 //! * **Counters** ([`counter`], [`gauge_max`]) are monotonic `u64`
 //!   aggregates keyed by static names — the tensor runtime counts
 //!   kernel calls, rows and threads through them.
+//! * **Allocation accounting** ([`alloc`],
+//!   [`install_counting_allocator!`]) is an opt-in counting
+//!   `#[global_allocator]` wrapper; when a binary installs it, span
+//!   paths carry allocation count/bytes/peak attribution.
 //! * **Events** ([`Event`], [`emit_with`]) are structured records
 //!   fanned out to pluggable [`Sink`]s: a human-readable stderr sink
 //!   and a machine-readable JSONL sink with schema version
-//!   [`SCHEMA_VERSION`].
+//!   [`SCHEMA_VERSION`]; completed spans emit v2 `span` events
+//!   consumed offline by the `graphrare-trace` CLI (flamegraphs,
+//!   timelines, percentile tables, run diffs).
 //! * The **registry** ([`registry`]) is global and thread-safe,
 //!   controlled by the `GRAPHRARE_TELEMETRY` environment variable
 //!   ([`init_from_env`]) or CLI flags, and costs one relaxed atomic
-//!   load per instrumentation point while disabled.
+//!   load per instrumentation point while disabled. Its
+//!   [`install_panic_hook`] flushes sinks on crashes so traces are
+//!   never truncated mid-record.
 //!
 //! ## Contract
 //!
@@ -33,18 +44,22 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod sink;
 
+pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use event::{escape_json_str, Event, Value, SCHEMA_VERSION};
-pub use metrics::{Histogram, MetricsStore, SpanStats, SpanSummary, Summary};
+pub use metrics::{
+    Histogram, MetricsStore, PathStats, PathSummary, Reservoir, SpanStats, SpanSummary, Summary,
+};
 pub use registry::{
     add_sink, clear_sinks, counter, emit, emit_with, enabled, flush, gauge_max, init_from_env,
-    progress_args, quiet, record_span, reset, set_enabled, set_quiet, snapshot, span, SpanGuard,
-    Stopwatch,
+    install_panic_hook, progress_args, quiet, record_span, reset, set_enabled, set_quiet, snapshot,
+    span, SpanGuard, Stopwatch,
 };
 pub use sink::{JsonlSink, Sink, StderrSink, VecSink};
 
@@ -190,5 +205,142 @@ mod tests {
         let n = json::validate_jsonl_file(&path).unwrap();
         assert_eq!(n, 2);
         let _ = std::fs::remove_file(path);
+    }
+
+    fn event_u64(e: &Event, key: &str) -> Option<u64> {
+        match e.field(key) {
+            Some(Value::U64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn event_str<'e>(e: &'e Event, key: &str) -> Option<&'e str> {
+        match e.field(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn nested_guards_build_paths_self_time_and_span_events() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        clear_sinks();
+        let (sink, events) = VecSink::new();
+        add_sink(Box::new(sink));
+        {
+            let _root = span("test.h.root");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _child = span("test.h.child");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            // A self-measured duration counts as a child of the open span.
+            record_span("test.h.direct", 500);
+        }
+        let s = snapshot();
+        set_enabled(false);
+        clear_sinks();
+
+        let root = s.path("test.h.root").expect("root path recorded");
+        let child = s.path("test.h.root/test.h.child").expect("child path recorded");
+        let direct = s.path("test.h.root/test.h.direct").expect("direct path recorded");
+        assert_eq!((root.count, child.count, direct.count), (1, 1, 1));
+        assert!(root.total_ns >= child.total_ns, "parent covers its child");
+        // Self time excludes both the nested guard and the direct span.
+        assert!(
+            root.self_ns <= root.total_ns - child.total_ns - 500,
+            "self {} vs total {} child {}",
+            root.self_ns,
+            root.total_ns,
+            child.total_ns
+        );
+        assert_eq!(direct.self_ns, 500);
+        // One observation: the percentiles are that observation, exactly.
+        assert_eq!(child.p50_ns, child.total_ns);
+        assert_eq!(child.p99_ns, child.total_ns);
+        assert_eq!(child.sampled, 1);
+        assert_eq!(s.paths_named("test.h.child").count(), 1);
+
+        let events = events.lock().unwrap();
+        let spans: Vec<&Event> = events.iter().filter(|e| e.kind() == "span").collect();
+        assert_eq!(spans.len(), 3, "one span event per completed span");
+        // Children complete (and emit) before their parent.
+        assert_eq!(event_str(spans[0], "name"), Some("test.h.child"));
+        assert_eq!(event_str(spans[1], "name"), Some("test.h.direct"));
+        assert_eq!(event_str(spans[2], "name"), Some("test.h.root"));
+        let root_id = event_u64(spans[2], "span_id").unwrap();
+        assert!(root_id > 0);
+        assert_eq!(event_u64(spans[2], "parent_id"), None, "roots omit parent_id");
+        assert_eq!(event_u64(spans[0], "parent_id"), Some(root_id));
+        assert_eq!(event_u64(spans[1], "parent_id"), Some(root_id));
+        assert_eq!(event_str(spans[0], "path"), Some("test.h.root/test.h.child"));
+        for e in &spans {
+            assert!(event_u64(e, "ns").is_some());
+            assert!(event_u64(e, "self_ns").is_some());
+            assert!(event_u64(e, "start_ns").is_some());
+            assert!(json::validate_event_line(&e.to_json_line()).is_ok());
+        }
+        // Sibling roots opened later get fresh root paths.
+        assert!(s.path("test.h.child").is_none(), "child must not appear as a root path");
+    }
+
+    #[test]
+    fn sequential_roots_do_not_nest() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("test.seq.a");
+        }
+        {
+            let _b = span("test.seq.b");
+        }
+        let s = snapshot();
+        set_enabled(false);
+        assert!(s.path("test.seq.a").is_some());
+        assert!(s.path("test.seq.b").is_some(), "closed roots must not parent later spans");
+        assert!(s.path("test.seq.a/test.seq.b").is_none());
+    }
+
+    #[test]
+    fn panic_hook_flushes_buffered_sink_and_records_the_panic() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        clear_sinks();
+        install_panic_hook();
+        let path = std::env::temp_dir().join("graphrare-telemetry-panic.jsonl");
+        add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        set_enabled(true);
+        let result = std::panic::catch_unwind(|| {
+            emit_with(|| Event::new("before_crash").u64("x", 1));
+            panic!("induced panic for telemetry test");
+        });
+        assert!(result.is_err());
+        set_enabled(false);
+        // No explicit flush: only the panic hook can have drained the
+        // BufWriter. Drop the sink without flushing again.
+        with_sinks_cleared_unflushed();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"before_crash\""), "pre-panic event lost: {text:?}");
+        assert!(text.contains("\"event\":\"panic\""), "panic event missing: {text:?}");
+        assert!(text.contains("induced panic for telemetry test"));
+        assert!(text.ends_with('\n'), "stream truncated mid-record");
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Drops all sinks without flushing them first (the panic-hook test
+    /// must prove the *hook* flushed, not `clear_sinks`). `JsonlSink`'s
+    /// `BufWriter` flushes on drop, so swap the sinks out and leak them.
+    fn with_sinks_cleared_unflushed() {
+        let sinks: Vec<Box<dyn Sink>> = Vec::new();
+        let old = registry_swap_sinks(sinks);
+        std::mem::forget(old);
+    }
+
+    fn registry_swap_sinks(new: Vec<Box<dyn Sink>>) -> Vec<Box<dyn Sink>> {
+        registry::swap_sinks_for_tests(new)
     }
 }

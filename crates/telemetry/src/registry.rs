@@ -9,6 +9,16 @@
 //! any other numeric state, so results are bit-identical with
 //! telemetry on or off.
 //!
+//! Spans are **hierarchical**: each thread keeps a stack of open
+//! spans, so a [`SpanGuard`] knows its parent and its call *path*
+//! (`driver.run/driver.step/rewire.apply`). On drop it folds wall time
+//! into both the flat per-name aggregate and the per-path profile
+//! (with *self time* — wall time minus enclosed children — exact
+//! reservoir percentiles, and allocation deltas from [`crate::alloc`]
+//! when the counting allocator is installed), and emits a schema-v2
+//! `span` event carrying `span_id`/`parent_id`/`path` for offline
+//! analysis by `graphrare-trace`.
+//!
 //! Control surface:
 //! * programmatic — [`set_enabled`], [`add_sink`], [`reset`];
 //! * environment — [`init_from_env`] reads `GRAPHRARE_TELEMETRY`
@@ -18,10 +28,12 @@
 //! * CLI — the `graphrare` binary maps `--telemetry` /
 //!   `--telemetry-out PATH` onto the same calls.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
+use crate::alloc::{self, AllocSnapshot};
 use crate::event::Event;
 use crate::metrics::{MetricsStore, Summary};
 use crate::sink::{JsonlSink, Sink, StderrSink};
@@ -31,6 +43,10 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Gate for the human-readable progress stream (`progress!`).
 static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide span id allocator; ids are unique within a process and
+/// strictly positive (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 struct State {
     metrics: MetricsStore,
@@ -47,6 +63,30 @@ fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
     // best-effort, so keep serving the remaining threads.
     let mut guard = state().lock().unwrap_or_else(|p| p.into_inner());
     f(&mut guard)
+}
+
+/// The process trace epoch: all `start_ns` offsets in span events are
+/// relative to this instant (first telemetry touch), which lets the
+/// offline timeline order spans without wall-clock timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One open span on the current thread's stack.
+struct Frame {
+    span_id: u64,
+    parent_id: Option<u64>,
+    path: String,
+    /// Wall time already consumed by completed child spans; the span's
+    /// self time is its own wall time minus this.
+    child_ns: u64,
+    start_offset_ns: u64,
+    alloc_start: AllocSnapshot,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Whether telemetry recording is on. One relaxed atomic load.
@@ -120,6 +160,14 @@ pub fn clear_sinks() {
     });
 }
 
+/// Swaps out the installed sinks without flushing them (in-crate test
+/// support: the panic-hook test must prove the *hook* drained the
+/// buffers, so it cannot go through `clear_sinks`).
+#[cfg(test)]
+pub(crate) fn swap_sinks_for_tests(new: Vec<Box<dyn Sink>>) -> Vec<Box<dyn Sink>> {
+    with_state(|s| std::mem::replace(&mut s.sinks, new))
+}
+
 /// Flushes every installed sink (e.g. before reading an output file).
 pub fn flush() {
     with_state(|s| {
@@ -129,7 +177,48 @@ pub fn flush() {
     });
 }
 
-/// Zeroes all counters and span aggregates. Sinks stay installed.
+/// Installs a process panic hook that emits a `panic` event and
+/// flushes every sink before the default hook runs, so JSONL traces
+/// from crashed runs end on a complete line instead of being truncated
+/// mid-record. Idempotent; chains to the previously installed hook.
+pub fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // The panicking thread may already hold the registry mutex
+            // (a sink panicked mid-emit); a blocking lock would
+            // deadlock inside the hook, so only flush when the lock is
+            // free. Poisoning cannot have happened yet — we are still
+            // unwinding — so a failed try_lock means "held", not
+            // "poisoned".
+            if let Ok(mut guard) = state().try_lock() {
+                if enabled() {
+                    let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    let mut ev = Event::new("panic").str("message", message);
+                    if let Some(loc) = info.location() {
+                        ev = ev.str("file", loc.file()).u64("line", u64::from(loc.line()));
+                    }
+                    for sink in &mut guard.sinks {
+                        sink.emit(&ev);
+                    }
+                }
+                for sink in &mut guard.sinks {
+                    sink.flush();
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Zeroes all counters and span/path aggregates. Sinks stay installed.
 pub fn reset() {
     with_state(|s| s.metrics = MetricsStore::default());
 }
@@ -152,12 +241,68 @@ pub fn gauge_max(name: &'static str, value: u64) {
 }
 
 /// Records a completed span duration directly (for call sites that
-/// measure themselves). No-op while disabled.
+/// measure themselves). The duration is attributed under the current
+/// thread's open span path — it counts as a *child* of the enclosing
+/// span, with all of `ns` as self time — and emitted as a `span` event
+/// with a synthesised id. No-op while disabled.
 #[inline]
 pub fn record_span(name: &'static str, ns: u64) {
-    if enabled() {
-        with_state(|s| s.metrics.record_span(name, ns));
+    if !enabled() {
+        return;
     }
+    let (parent_id, path) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        match stack.last_mut() {
+            Some(top) => {
+                top.child_ns = top.child_ns.saturating_add(ns);
+                (Some(top.span_id), format!("{}/{name}", top.path))
+            }
+            None => (None, name.to_string()),
+        }
+    });
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let end_offset_ns = epoch().elapsed().as_nanos() as u64;
+    with_state(|s| {
+        s.metrics.record_span(name, ns);
+        s.metrics.record_path(&path, ns, ns, 0, 0, None);
+        let event = span_event(
+            name,
+            span_id,
+            parent_id,
+            &path,
+            ns,
+            ns,
+            end_offset_ns.saturating_sub(ns),
+            0,
+            0,
+        );
+        for sink in &mut s.sinks {
+            sink.emit(&event);
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn span_event(
+    name: &'static str,
+    span_id: u64,
+    parent_id: Option<u64>,
+    path: &str,
+    ns: u64,
+    self_ns: u64,
+    start_ns: u64,
+    alloc_n: u64,
+    alloc_bytes: u64,
+) -> Event {
+    let mut event = Event::new("span").str("name", name).u64("span_id", span_id);
+    if let Some(pid) = parent_id {
+        event = event.u64("parent_id", pid);
+    }
+    event = event.str("path", path).u64("ns", ns).u64("self_ns", self_ns).u64("start_ns", start_ns);
+    if alloc_n > 0 || alloc_bytes > 0 {
+        event = event.u64("alloc_n", alloc_n).u64("alloc_bytes", alloc_bytes);
+    }
+    event
 }
 
 /// Sends a pre-built event to every sink. Prefer [`emit_with`], which
@@ -183,24 +328,85 @@ pub fn emit_with(build: impl FnOnce() -> Event) {
     }
 }
 
-/// Point-in-time copy of all counters and span aggregates.
+/// Point-in-time copy of all counters, span aggregates and path
+/// profiles.
 pub fn snapshot() -> Summary {
     with_state(|s| s.metrics.summary())
 }
 
-/// RAII span: measures wall time from construction to drop and folds
-/// it into the named span aggregate. When telemetry is disabled at
-/// construction the guard holds no clock and drop is a no-op.
+/// RAII span: measures wall time from construction to drop, tracks its
+/// position in the per-thread span stack, and on drop folds the
+/// duration into the flat aggregate and the per-path profile (self
+/// time, percentile reservoir, allocation deltas) while emitting a
+/// schema-v2 `span` event. When telemetry is disabled at construction
+/// the guard holds no clock and drop is a no-op.
 #[must_use = "a span measures until it is dropped"]
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    span_id: u64,
+}
+
+impl SpanGuard {
+    /// This span's process-unique id (0 when the guard is inert).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start.take() {
-            record_span(self.name, start.elapsed().as_nanos() as u64);
+        let Some(start) = self.start.take() else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        // Pop our frame. Guards are stack-shaped by construction
+        // (RAII), so our frame is the top one; if it is not — the guard
+        // migrated threads or a child was leaked — fall back to the
+        // flat aggregate only rather than corrupting the stack.
+        let frame = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last().is_some_and(|f| f.span_id == self.span_id) {
+                let frame = stack.pop();
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns = parent.child_ns.saturating_add(ns);
+                }
+                frame
+            } else {
+                None
+            }
+        });
+        if !enabled() {
+            return;
+        }
+        match frame {
+            None => with_state(|s| s.metrics.record_span(self.name, ns)),
+            Some(frame) => {
+                let self_ns = ns.saturating_sub(frame.child_ns);
+                let alloc_now = alloc::snapshot();
+                let alloc_n = alloc_now.count.saturating_sub(frame.alloc_start.count);
+                let alloc_bytes = alloc_now.bytes.saturating_sub(frame.alloc_start.bytes);
+                // Attribute the process-wide live-heap peak to this
+                // path only if a new peak was set while we were open.
+                let peak = (alloc_now.peak_bytes > frame.alloc_start.peak_bytes)
+                    .then_some(alloc_now.peak_bytes);
+                with_state(|s| {
+                    s.metrics.record_span(self.name, ns);
+                    s.metrics.record_path(&frame.path, ns, self_ns, alloc_n, alloc_bytes, peak);
+                    let event = span_event(
+                        self.name,
+                        frame.span_id,
+                        frame.parent_id,
+                        &frame.path,
+                        ns,
+                        self_ns,
+                        frame.start_offset_ns,
+                        alloc_n,
+                        alloc_bytes,
+                    );
+                    for sink in &mut s.sinks {
+                        sink.emit(&event);
+                    }
+                });
+            }
         }
     }
 }
@@ -208,7 +414,28 @@ impl Drop for SpanGuard {
 /// Opens a named span; see [`SpanGuard`].
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    SpanGuard { name, start: enabled().then(Instant::now) }
+    if !enabled() {
+        return SpanGuard { name, start: None, span_id: 0 };
+    }
+    let epoch = epoch();
+    let start = Instant::now();
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let (parent_id, path) = match stack.last() {
+            Some(top) => (Some(top.span_id), format!("{}/{name}", top.path)),
+            None => (None, name.to_string()),
+        };
+        stack.push(Frame {
+            span_id,
+            parent_id,
+            path,
+            child_ns: 0,
+            start_offset_ns: start.saturating_duration_since(epoch).as_nanos() as u64,
+            alloc_start: alloc::snapshot(),
+        });
+    });
+    SpanGuard { name, start: Some(start), span_id }
 }
 
 /// A manual wall-clock; reads 0 while telemetry is disabled so timing

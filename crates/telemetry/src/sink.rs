@@ -7,7 +7,7 @@
 //! event the registry emits; a sink decides itself what to render.
 
 use std::fs::File;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use crate::event::{Event, Value};
@@ -26,17 +26,20 @@ pub trait Sink: Send {
 
 /// Writes every event as one JSON line to a file.
 ///
-/// Each line is flushed as it is written — the stream stays valid JSONL
-/// even if the process aborts mid-run, and the registry's mutex already
-/// serialises writers.
+/// Writes are buffered (hierarchical spans emit one event per guard, a
+/// much higher volume than the v1 stream), so producers must call
+/// [`crate::flush`] / [`crate::clear_sinks`] before reading the file or
+/// exiting — statics never drop. The registry's panic hook
+/// ([`crate::install_panic_hook`]) flushes on crashes, keeping traces
+/// from dying runs whole-line valid.
 pub struct JsonlSink {
-    file: File,
+    file: BufWriter<File>,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the output file.
     pub fn create(path: &Path) -> std::io::Result<Self> {
-        Ok(Self { file: File::create(path)? })
+        Ok(Self { file: BufWriter::new(File::create(path)?) })
     }
 }
 
@@ -54,14 +57,15 @@ impl Sink for JsonlSink {
 
 /// Renders a compact human-readable line per event to stderr.
 ///
-/// High-frequency kinds (`epoch`) are summarised by the span/counter
-/// aggregates instead of being printed, so a `--telemetry` terminal
-/// session stays readable even on long runs.
+/// High-frequency kinds (`epoch`, and `span` — one event per completed
+/// guard) are summarised by the span/counter/path aggregates instead of
+/// being printed, so a `--telemetry` terminal session stays readable
+/// even on long runs.
 pub struct StderrSink;
 
 impl StderrSink {
     /// Event kinds skipped by the human-readable rendering.
-    const SKIP: [&'static str; 1] = ["epoch"];
+    const SKIP: [&'static str; 2] = ["epoch", "span"];
 }
 
 impl Sink for StderrSink {

@@ -1,0 +1,78 @@
+//! Folded-stack assembly for flamegraph renderers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::model::Span;
+
+/// Aggregates self time by call path, with `/` rewritten to the `;`
+/// separator of the folded-stack format. Because `self_ns` is wall
+/// time minus direct children, the values telescope: summing every
+/// folded line under a root reproduces that root span's wall time.
+pub fn folded_stacks(spans: &[Span]) -> BTreeMap<String, u64> {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for span in spans {
+        let slot = folded.entry(span.path.replace('/', ";")).or_insert(0);
+        *slot = slot.saturating_add(span.self_ns);
+    }
+    folded
+}
+
+/// One `stack;frames SELF_NS` line per path, lexicographically sorted
+/// (so parents precede their children and output is deterministic).
+pub fn render_folded(folded: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, self_ns) in folded {
+        let _ = writeln!(out, "{stack} {self_ns}");
+    }
+    out
+}
+
+/// Total folded self time grouped by root frame: the per-tree wall
+/// time. `root_totals(...)["driver.run"]` equals the `driver.run`
+/// span's `ns` (exactly, when the stream holds the full tree).
+pub fn root_totals(folded: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    let mut roots: BTreeMap<String, u64> = BTreeMap::new();
+    for (stack, self_ns) in folded {
+        let root = stack.split(';').next().unwrap_or(stack).to_owned();
+        let total = roots.entry(root).or_insert(0);
+        *total = total.saturating_add(*self_ns);
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, path: &str, ns: u64, self_ns: u64) -> Span {
+        Span {
+            span_id: id,
+            parent_id: parent,
+            name: path.rsplit('/').next().unwrap().to_owned(),
+            path: path.to_owned(),
+            ns,
+            self_ns,
+            start_ns: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn folds_self_time_by_path_and_totals_telescope() {
+        let spans = vec![
+            span(1, None, "run", 100, 30),
+            span(2, Some(1), "run/step", 40, 25),
+            span(3, Some(2), "run/step/inner", 15, 15),
+            span(4, Some(1), "run/step", 30, 30),
+        ];
+        let folded = folded_stacks(&spans);
+        assert_eq!(folded.get("run"), Some(&30));
+        assert_eq!(folded.get("run;step"), Some(&55));
+        assert_eq!(folded.get("run;step;inner"), Some(&15));
+        assert_eq!(root_totals(&folded).get("run"), Some(&100));
+        let rendered = render_folded(&folded);
+        assert_eq!(rendered, "run 30\nrun;step 55\nrun;step;inner 15\n");
+    }
+}

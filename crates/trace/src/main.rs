@@ -1,0 +1,117 @@
+//! `graphrare-trace` — offline analyzer for telemetry JSONL streams.
+//!
+//! ```text
+//! graphrare-trace timeline RUN.jsonl
+//! graphrare-trace flame RUN.jsonl [--out STACKS.folded]
+//! graphrare-trace percentiles RUN.jsonl
+//! graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]
+//! ```
+//!
+//! `flame` writes folded stacks (`a;b;c SELF_NS`) for flamegraph
+//! renderers; `percentiles` prints exact per-path p50/p90/p99 over the
+//! whole stream; `diff` compares per-path totals of two runs and exits
+//! non-zero when any path regresses past the threshold (default 10%),
+//! which is how `scripts/check.sh` uses it as a perf gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use graphrare_trace::{
+    diff, folded_stacks, parse_spans_file, percentile_rows, render_diff, render_folded,
+    render_percentiles, render_timeline,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graphrare-trace timeline RUN.jsonl\n       graphrare-trace flame RUN.jsonl [--out FILE]\n       graphrare-trace percentiles RUN.jsonl\n       graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("graphrare-trace: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Writes to stdout treating a closed pipe as success — the reports
+/// are routinely piped into `head` or flamegraph renderers, and
+/// `print!` would abort on the resulting `EPIPE`.
+fn emit(text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("failed to write to stdout: {e}")),
+    }
+}
+
+/// Accepts `10`, `10%` or `12.5%`; the number is a percentage.
+fn parse_percent(arg: &str) -> Result<f64, String> {
+    let digits = arg.strip_suffix('%').unwrap_or(arg);
+    let pct: f64 = digits.parse().map_err(|_| format!("bad percentage {arg:?}"))?;
+    if !pct.is_finite() || pct < 0.0 {
+        return Err(format!("bad percentage {arg:?}"));
+    }
+    Ok(pct / 100.0)
+}
+
+fn run_diff(base: &Path, cand: &Path, opts: &[String]) -> Result<ExitCode, String> {
+    let mut max_regress = 0.10;
+    let mut min_total_ns = 0u64;
+    let mut i = 0;
+    while i < opts.len() {
+        let value =
+            |i: usize| opts.get(i + 1).cloned().ok_or_else(|| format!("{} needs a value", opts[i]));
+        match opts[i].as_str() {
+            "--max-regress" => max_regress = parse_percent(&value(i)?)?,
+            "--min-total-ns" => {
+                min_total_ns = value(i)?
+                    .parse()
+                    .map_err(|_| format!("bad --min-total-ns {:?}", opts[i + 1]))?
+            }
+            other => return Err(format!("unknown diff option {other}")),
+        }
+        i += 2;
+    }
+    let report =
+        diff(&parse_spans_file(base)?, &parse_spans_file(cand)?, max_regress, min_total_ns);
+    emit(&render_diff(&report))?;
+    Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result: Result<ExitCode, String> = match argv.as_slice() {
+        [cmd, file] if cmd == "timeline" => parse_spans_file(Path::new(file)).and_then(|spans| {
+            emit(&render_timeline(&spans))?;
+            Ok(ExitCode::SUCCESS)
+        }),
+        [cmd, file, rest @ ..] if cmd == "flame" => {
+            let out = match rest {
+                [] => None,
+                [flag, path] if flag == "--out" => Some(PathBuf::from(path)),
+                _ => return usage(),
+            };
+            parse_spans_file(Path::new(file)).and_then(|spans| {
+                let folded = render_folded(&folded_stacks(&spans));
+                match out {
+                    Some(path) => std::fs::write(&path, &folded)
+                        .map_err(|e| format!("failed to write {}: {e}", path.display()))?,
+                    None => emit(&folded)?,
+                }
+                Ok(ExitCode::SUCCESS)
+            })
+        }
+        [cmd, file] if cmd == "percentiles" => {
+            parse_spans_file(Path::new(file)).and_then(|spans| {
+                emit(&render_percentiles(&percentile_rows(&spans)))?;
+                Ok(ExitCode::SUCCESS)
+            })
+        }
+        [cmd, base, cand, rest @ ..] if cmd == "diff" => {
+            run_diff(Path::new(base), Path::new(cand), rest)
+        }
+        _ => return usage(),
+    };
+    result.unwrap_or_else(|e| fail(&e))
+}

@@ -1,0 +1,145 @@
+//! Span extraction from a validated telemetry JSONL stream.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use graphrare_telemetry::json::{self, Json};
+
+/// One closed span, as reconstructed from a v2 `span` event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Process-unique id, allocated at guard creation.
+    pub span_id: u64,
+    /// Enclosing span's id; `None` for roots.
+    pub parent_id: Option<u64>,
+    /// Leaf name, e.g. `rewire.apply`.
+    pub name: String,
+    /// `/`-joined call path from its root, e.g.
+    /// `driver.run/driver.step/rewire.apply`.
+    pub path: String,
+    /// Wall time.
+    pub ns: u64,
+    /// Wall time minus the wall time of direct children.
+    pub self_ns: u64,
+    /// Start offset from the process telemetry epoch.
+    pub start_ns: u64,
+    /// Allocations attributed to this span (0 without the counting
+    /// allocator installed in the emitting binary).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl Span {
+    /// Call depth: roots are 0.
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+}
+
+fn u64_field(event: &Json, key: &str) -> Option<u64> {
+    let x = event.get(key)?.as_f64()?;
+    (x.is_finite() && x >= 0.0 && x.fract() == 0.0).then_some(x as u64)
+}
+
+fn span_from_event(line_no: usize, event: &Json) -> Result<Span, String> {
+    let field = |key: &str| {
+        u64_field(event, key).ok_or_else(|| format!("line {line_no}: span missing u64 {key}"))
+    };
+    let text = |key: &str| {
+        event
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("line {line_no}: span missing string {key}"))
+    };
+    Ok(Span {
+        span_id: field("span_id")?,
+        parent_id: event.get("parent_id").map(|_| field("parent_id")).transpose()?,
+        name: text("name")?,
+        path: text("path")?,
+        ns: field("ns")?,
+        self_ns: field("self_ns")?,
+        start_ns: field("start_ns")?,
+        alloc_count: u64_field(event, "alloc_n").unwrap_or(0),
+        alloc_bytes: u64_field(event, "alloc_bytes").unwrap_or(0),
+    })
+}
+
+/// Parses a telemetry JSONL stream and returns its spans, in stream
+/// order. Every line is schema-validated (v1 or v2); non-span events
+/// are skipped. The spans must form a closed forest: a `parent_id`
+/// that never appears as a `span_id` — the signature of a truncated
+/// trace — is an error.
+pub fn parse_spans(text: &str) -> Result<Vec<Span>, String> {
+    let mut spans = Vec::new();
+    let mut ids = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let event = json::validate_event_line(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if event.get("event").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let span = span_from_event(line_no, &event)?;
+        ids.insert(span.span_id);
+        spans.push(span);
+    }
+    for span in &spans {
+        if let Some(parent) = span.parent_id {
+            if !ids.contains(&parent) {
+                return Err(format!(
+                    "span {} ({}): orphaned parent_id {parent} (truncated trace?)",
+                    span.span_id, span.path
+                ));
+            }
+        }
+    }
+    Ok(spans)
+}
+
+/// [`parse_spans`] over a file.
+pub fn parse_spans_file(path: &Path) -> Result<Vec<Span>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+    parse_spans(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(id: u64, parent: Option<u64>, path: &str, ns: u64) -> String {
+        let name = path.rsplit('/').next().unwrap();
+        let parent = parent.map(|p| format!("\"parent_id\":{p},")).unwrap_or_default();
+        format!(
+            "{{\"v\":2,\"event\":\"span\",\"name\":\"{name}\",\"span_id\":{id},{parent}\"path\":\"{path}\",\"ns\":{ns},\"self_ns\":{ns},\"start_ns\":0}}"
+        )
+    }
+
+    #[test]
+    fn parses_spans_and_skips_other_events() {
+        let text = format!(
+            "{{\"v\":1,\"event\":\"run_start\",\"seed\":7}}\n{}\n{}\n",
+            line(1, None, "a", 100),
+            line(2, Some(1), "a/b", 40)
+        );
+        let spans = parse_spans(&text).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].path, "a");
+        assert_eq!(spans[1].parent_id, Some(1));
+        assert_eq!(spans[1].depth(), 1);
+    }
+
+    #[test]
+    fn rejects_orphaned_parents() {
+        let text = format!("{}\n", line(5, Some(99), "a/b", 10));
+        let err = parse_spans(&text).unwrap_err();
+        assert!(err.contains("orphaned parent_id 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_spans("not json\n").is_err());
+        assert!(parse_spans("{\"v\":2,\"event\":\"span\",\"name\":\"x\"}\n").is_err());
+    }
+}

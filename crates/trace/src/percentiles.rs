@@ -1,0 +1,112 @@
+//! Exact per-path duration percentiles over a full trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use graphrare_telemetry::metrics::percentile_of;
+
+use crate::model::Span;
+
+/// Aggregated statistics for one call path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathRow {
+    /// `/`-joined call path.
+    pub path: String,
+    /// Number of spans on this path.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u64,
+    /// Summed self time.
+    pub self_ns: u64,
+    /// Exact nearest-rank percentiles of the wall-time distribution.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+/// Groups span durations by path and computes exact nearest-rank
+/// p50/p90/p99 over every sample. The offline analyzer holds the full
+/// stream, so — unlike the in-process reservoir, which is capped —
+/// these are exact at any count.
+pub fn percentile_rows(spans: &[Span]) -> Vec<PathRow> {
+    let mut by_path: BTreeMap<&str, (Vec<u64>, u64)> = BTreeMap::new();
+    for span in spans {
+        let (durations, self_ns) = by_path.entry(&span.path).or_default();
+        durations.push(span.ns);
+        *self_ns = self_ns.saturating_add(span.self_ns);
+    }
+    by_path
+        .into_iter()
+        .map(|(path, (mut durations, self_ns))| {
+            let total_ns = durations.iter().fold(0u64, |a, &b| a.saturating_add(b));
+            PathRow {
+                path: path.to_owned(),
+                count: durations.len() as u64,
+                total_ns,
+                self_ns,
+                p50_ns: percentile_of(&mut durations, 50.0),
+                p90_ns: percentile_of(&mut durations, 90.0),
+                p99_ns: percentile_of(&mut durations, 99.0),
+            }
+        })
+        .collect()
+}
+
+/// Aligned table, one row per path, sorted by path.
+pub fn render_percentiles(rows: &[PathRow]) -> String {
+    let width = rows.iter().map(|r| r.path.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<width$} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "path", "count", "total_ms", "self_ms", "p50_us", "p90_us", "p99_us"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>8} {:>12.3} {:>12.3} {:>10.1} {:>10.1} {:>10.1}",
+            r.path,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            r.p50_ns as f64 / 1e3,
+            r.p90_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_over_all_samples() {
+        let spans: Vec<Span> = (1..=100)
+            .map(|i| Span {
+                span_id: i,
+                parent_id: None,
+                name: "step".into(),
+                path: "step".into(),
+                ns: i * 1000,
+                self_ns: i * 500,
+                start_ns: i,
+                alloc_count: 0,
+                alloc_bytes: 0,
+            })
+            .collect();
+        let rows = percentile_rows(&spans);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.count, 100);
+        assert_eq!(r.p50_ns, 50_000);
+        assert_eq!(r.p90_ns, 90_000);
+        assert_eq!(r.p99_ns, 99_000);
+        assert_eq!(r.total_ns, 5_050_000);
+        assert_eq!(r.self_ns, 2_525_000);
+        assert!(render_percentiles(&rows).contains("step"));
+    }
+}

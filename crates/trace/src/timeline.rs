@@ -1,0 +1,63 @@
+//! Start-ordered span timeline.
+
+use std::fmt::Write as _;
+
+use crate::model::Span;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders every span in start order, indented by call depth, with
+/// wall and self durations (and allocation counts when attributed).
+/// Ties on `start_ns` break by `span_id`, which increases in guard
+/// creation order — so the listing is the execution order.
+pub fn render_timeline(spans: &[Span]) -> String {
+    let mut ordered: Vec<&Span> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start_ns, s.span_id));
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>12} {:>12}  span", "start_ms", "wall_ms", "self_ms");
+    for span in ordered {
+        let indent = "  ".repeat(span.depth());
+        let _ = write!(
+            out,
+            "{:>12.3} {:>12.3} {:>12.3}  {indent}{}",
+            ms(span.start_ns),
+            ms(span.ns),
+            ms(span.self_ns),
+            span.name
+        );
+        if span.alloc_count > 0 {
+            let _ = write!(out, "  [allocs {} / {} B]", span.alloc_count, span.alloc_bytes);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_start_and_indents_by_depth() {
+        let mk = |id, parent, path: &str, start, ns| Span {
+            span_id: id,
+            parent_id: parent,
+            name: path.rsplit('/').next().unwrap().to_owned(),
+            path: path.to_owned(),
+            ns,
+            self_ns: ns,
+            start_ns: start,
+            alloc_count: 0,
+            alloc_bytes: 0,
+        };
+        // Stream order is drop order (children first); the timeline
+        // must re-sort by start.
+        let spans = vec![mk(2, Some(1), "a/b", 10, 5), mk(1, None, "a", 0, 20)];
+        let text = render_timeline(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].ends_with("  a"), "{:?}", lines[1]);
+        assert!(lines[2].ends_with("    b"), "{:?}", lines[2]);
+    }
+}

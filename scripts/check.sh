@@ -74,6 +74,24 @@ target/release/graphrare \
 diff "$smoke_dir/full.out" "$smoke_dir/resumed.out"
 target/release/store_dump "$smoke_dir/ckpts/step-000006.grrs"
 
+echo "==> trace profiler smoke (flame/percentiles parse; self-diff gates at 0%)"
+cargo build -q --release -p graphrare-trace --bin graphrare-trace
+# Folded stacks from the CLI smoke's stream: every line must be
+# `stack;frames SELF_NS`, and the driver.run root must be present.
+target/release/graphrare-trace flame "$smoke_dir/events.jsonl" > "$smoke_dir/stacks.folded"
+awk 'NF != 2 || $2 !~ /^[0-9]+$/ { print "bad folded line: " $0; bad = 1 } END { exit bad }' \
+    "$smoke_dir/stacks.folded"
+grep -q '^driver\.run ' "$smoke_dir/stacks.folded" ||
+    { echo "folded stacks missing the driver.run root" >&2; exit 1; }
+target/release/graphrare-trace percentiles "$smoke_dir/events.jsonl" > "$smoke_dir/percentiles.txt"
+grep -q 'driver\.run/driver\.step' "$smoke_dir/percentiles.txt" ||
+    { echo "percentile table missing the driver.step path" >&2; exit 1; }
+target/release/graphrare-trace timeline "$smoke_dir/events.jsonl" > /dev/null
+# Regression gate sanity: a run diffed against itself has zero delta on
+# every path, so the strictest possible threshold must pass.
+target/release/graphrare-trace diff "$smoke_dir/events.jsonl" "$smoke_dir/events.jsonl" \
+    --max-regress 0% > /dev/null
+
 echo "==> incremental rewiring smoke (full vs incremental must be bit-identical)"
 cargo build -q --release -p graphrare-bench --bin bench_rewire
 # The binary lock-steps RewiredGraph against materialize + fresh tensors
