@@ -1,0 +1,246 @@
+//! Serving-daemon benchmark: submit/step throughput and request
+//! latency percentiles at 1, 4 and 8 concurrent runs, written to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--quick] [--output BENCH_serve.json]
+//! ```
+//!
+//! Each concurrency level gets a fresh daemon on a temp unix socket
+//! with exactly that many worker slots; the benchmark submits that many
+//! same-shape runs over the real frame protocol, polls them to
+//! completion while sampling per-request round-trip latency into the
+//! trace profiler's [`Reservoir`]s, and reports steps/sec throughput.
+//! One probe seed recurs at every level and its artifact bytes must be
+//! identical across 1/4/8-way multiplexing — concurrency must never
+//! change a result.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use graphrare_datasets::{generate_spec, DatasetSpec};
+use graphrare_graph::io;
+use graphrare_serve::{Connection, Listen, Request, Response, RunSpec, ServeConfig, Server};
+use graphrare_telemetry::{self as telemetry, Reservoir};
+
+struct LevelRecord {
+    concurrency: usize,
+    steps_per_run: u64,
+    wall_ms: f64,
+    steps_per_sec: f64,
+    submit: Reservoir,
+    status: Reservoir,
+    requests: u64,
+}
+
+fn toy_spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "serve-bench",
+        num_nodes: 40,
+        num_edges: 90,
+        feat_dim: 12,
+        num_classes: 3,
+        homophily: 0.2,
+        degree_exponent: 0.3,
+        feature_signal: 0.8,
+        feature_density: 0.08,
+    }
+}
+
+fn run_spec(input: &str, seed: u64, steps: u64) -> RunSpec {
+    RunSpec {
+        input: input.to_string(),
+        backbone: graphrare_gnn::Backbone::Gcn,
+        steps,
+        seed,
+        split_seed: 0,
+        k_cap: 10,
+        lambda: 1.0,
+        algo: graphrare::RlAlgo::Ppo,
+        threads: 1,
+        paced: false,
+    }
+}
+
+/// Drives one daemon at `concurrency` slots to completion; returns the
+/// timing record and the probe run's artifact bytes.
+fn bench_level(
+    scratch: &Path,
+    input: &str,
+    concurrency: usize,
+    steps_per_run: u64,
+) -> (LevelRecord, Vec<u8>) {
+    let state = scratch.join(format!("state-{concurrency}"));
+    let socket = scratch.join(format!("daemon-{concurrency}.sock"));
+    let mut cfg = ServeConfig::new(&state);
+    cfg.max_runs = concurrency;
+    cfg.max_queue = concurrency;
+    let server = Server::start(cfg, &[Listen::Unix(socket.clone())]).expect("daemon starts");
+    let mut conn = Connection::connect(&Listen::Unix(socket)).expect("client connects");
+
+    let mut submit = Reservoir::default();
+    let mut status = Reservoir::default();
+    let mut requests = 0u64;
+
+    // Seed 5 is the cross-level probe; the rest differ per slot.
+    let seeds: Vec<u64> =
+        (0..concurrency as u64).map(|i| if i == 0 { 5 } else { 100 + i }).collect();
+    let wall = Instant::now();
+    let mut ids = Vec::new();
+    for &seed in &seeds {
+        let t = Instant::now();
+        let resp = conn.request(&Request::SubmitRun(run_spec(input, seed, steps_per_run)));
+        submit.record(t.elapsed().as_nanos() as u64);
+        requests += 1;
+        match resp {
+            Ok(Response::Submitted(run_id)) => ids.push(run_id),
+            other => panic!("submit failed: {other:?}"),
+        }
+    }
+
+    // Poll every run until terminal, timing each status round-trip.
+    let mut pending = ids.clone();
+    while !pending.is_empty() {
+        pending.retain(|&run_id| {
+            let t = Instant::now();
+            let resp = conn.request(&Request::Status(run_id));
+            status.record(t.elapsed().as_nanos() as u64);
+            requests += 1;
+            match resp {
+                Ok(Response::RunStatus(info)) => {
+                    if info.state == graphrare_serve::RunState::Done {
+                        false
+                    } else {
+                        assert!(!info.state.is_terminal(), "run {run_id} ended {:?}", info.state);
+                        true
+                    }
+                }
+                other => panic!("status failed: {other:?}"),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let total_steps = steps_per_run * concurrency as u64;
+    let steps_per_sec = total_steps as f64 / (wall_ms / 1e3);
+
+    let probe = match conn.request(&Request::FetchResult(ids[0])) {
+        Ok(Response::RunResult { artifact, .. }) => artifact,
+        other => panic!("fetch failed: {other:?}"),
+    };
+    server.request_shutdown();
+    server.join();
+
+    telemetry::progress!(
+        "concurrency {concurrency}: {total_steps} steps in {wall_ms:.0} ms ({steps_per_sec:.1} steps/s), submit p50 {} us, status p50 {} us",
+        submit.percentile(50.0) / 1_000,
+        status.percentile(50.0) / 1_000
+    );
+    (
+        LevelRecord {
+            concurrency,
+            steps_per_run,
+            wall_ms,
+            steps_per_sec,
+            submit,
+            status,
+            requests,
+        },
+        probe,
+    )
+}
+
+fn latency_json(r: &Reservoir) -> String {
+    format!(
+        "{{\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+        r.percentile(50.0),
+        r.percentile(90.0),
+        r.percentile(99.0)
+    )
+}
+
+fn main() {
+    let mut output = PathBuf::from("BENCH_serve.json");
+    let mut quick = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--output" => {
+                i += 1;
+                output = PathBuf::from(argv.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("usage: bench_serve [--quick] [--output FILE]");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: bench_serve [--quick] [--output FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    telemetry::install_panic_hook();
+    telemetry::init_from_env();
+
+    let scratch =
+        std::env::temp_dir().join(format!("graphrare-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let input = scratch.join("toy");
+    io::write_graph(&generate_spec(&toy_spec(), 1), &input).expect("write toy graph");
+    let input = input.to_str().unwrap().to_string();
+
+    let steps_per_run: u64 = if quick { 6 } else { 16 };
+    let levels: &[usize] = &[1, 4, 8];
+
+    let mut records = Vec::new();
+    let mut probes: Vec<Vec<u8>> = Vec::new();
+    for &concurrency in levels {
+        let (record, probe) = bench_level(&scratch, &input, concurrency, steps_per_run);
+        records.push(record);
+        probes.push(probe);
+    }
+
+    // Concurrency must never change bits: the probe run (same spec and
+    // seed at every level) produced identical artifacts under 1-, 4-
+    // and 8-way multiplexing.
+    let identical = probes.windows(2).all(|w| w[0] == w[1]);
+    if !identical {
+        eprintln!("bench_serve: probe artifacts DIVERGE across concurrency levels");
+        std::process::exit(1);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"identical_across_levels\": {identical},");
+    json.push_str("  \"levels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"concurrency\": {}, \"steps_per_run\": {}, \"wall_ms\": {:.1}, \"steps_per_sec\": {:.2}, \"requests\": {}, \"submit_latency\": {}, \"status_latency\": {}}}{comma}",
+            r.concurrency,
+            r.steps_per_run,
+            r.wall_ms,
+            r.steps_per_sec,
+            r.requests,
+            latency_json(&r.submit),
+            latency_json(&r.status)
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&output, json) {
+        eprintln!("failed to write {}: {e}", output.display());
+        std::process::exit(1);
+    }
+    telemetry::progress!("wrote {}", output.display());
+    let _ = std::fs::remove_dir_all(&scratch);
+    telemetry::clear_sinks();
+}

@@ -7,10 +7,11 @@
 //!
 //! The validator re-uses the schema checks of
 //! [`graphrare_telemetry::json`]: every line must parse as RFC 8259
-//! JSON and carry an accepted `"v"` schema version (v1 or v2) plus an
-//! `"event"` kind. v2 `span` events additionally must carry well-formed
-//! `span_id`/`parent_id`/`path`/`ns` fields, and the stream as a whole
-//! must form a closed span tree — a `parent_id` that never appears as a
+//! JSON and carry an accepted `"v"` schema version (v1–v3) plus an
+//! `"event"` kind. `span` events additionally must carry well-formed
+//! `span_id`/`parent_id`/`path`/`ns` fields, the optional v3 `run_id`
+//! tag must be a positive integer, and the stream as a whole must form
+//! a closed span tree — a `parent_id` that never appears as a
 //! `span_id` (a truncated trace) fails the lint. `--make-fixture`
 //! exists so `scripts/check.sh` can smoke the CLI's `--telemetry-out`
 //! flag without shipping a data file.

@@ -12,7 +12,7 @@
 //!           [--entropy-refresh-every N]
 //!           [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]
 //!           [--checkpoint-every N --checkpoint-dir DIR] [--resume]
-//!           [--save-model PATH | --load-model PATH]
+//!           [--save-model PATH | --load-model PATH] [--run-id N]
 //! ```
 //!
 //! `--entropy-refresh-every N` re-ranks the candidate sequences against
@@ -41,7 +41,9 @@
 //! `--telemetry` enables the registry with the human-readable stderr
 //! sink; `--telemetry-out PATH` streams structured JSONL events to
 //! `PATH`. `GRAPHRARE_TELEMETRY` configures the same switches from the
-//! environment. Telemetry is observational only — enabling it never
+//! environment. `--run-id N` tags every emitted event with the given
+//! run id (the schema-v3 field the serving daemon uses to multiplex
+//! streams). Telemetry is observational only — enabling it never
 //! changes a numeric result.
 
 use std::path::{Path, PathBuf};
@@ -78,6 +80,7 @@ struct Args {
     resume: bool,
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
+    run_id: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -88,7 +91,7 @@ fn usage() -> ! {
          [--entropy-refresh-every N] \
          [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH] \
          [--checkpoint-every N --checkpoint-dir DIR] [--resume] \
-         [--save-model PATH | --load-model PATH]"
+         [--save-model PATH | --load-model PATH] [--run-id N]"
     );
     std::process::exit(2);
 }
@@ -114,6 +117,7 @@ fn parse_args() -> Args {
         resume: false,
         save_model: None,
         load_model: None,
+        run_id: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -160,6 +164,13 @@ fn parse_args() -> Args {
             "--resume" => args.resume = true,
             "--save-model" => args.save_model = Some(PathBuf::from(value(&mut i))),
             "--load-model" => args.load_model = Some(PathBuf::from(value(&mut i))),
+            "--run-id" => match value(&mut i).parse() {
+                Ok(id) if id > 0 => args.run_id = Some(id),
+                _ => {
+                    eprintln!("--run-id must be a positive integer");
+                    usage()
+                }
+            },
             "--algo" => {
                 args.algo = match value(&mut i).to_lowercase().as_str() {
                     "ppo" => RlAlgo::Ppo,
@@ -314,6 +325,9 @@ fn main() -> ExitCode {
 fn run_main() -> ExitCode {
     let args = parse_args();
     telemetry::init_from_env();
+    // Tag this process's events with a caller-assigned run id (the
+    // serving daemon's per-run streams use the same schema-v3 field).
+    telemetry::set_run_id(args.run_id);
     if args.quiet {
         telemetry::set_quiet(true);
     }

@@ -95,7 +95,7 @@ fn cli_telemetry_out_writes_valid_jsonl_and_quiet_stderr() {
         .expect("telemetry stream is valid JSONL");
     assert!(n >= 8, "expected >= 8 events (one per DRL step), got {n}");
     let text = std::fs::read_to_string(&events).unwrap();
-    let iter_lines = text.lines().filter(|l| l.starts_with("{\"v\":2,\"event\":\"iter\"")).count();
+    let iter_lines = text.lines().filter(|l| l.starts_with("{\"v\":3,\"event\":\"iter\"")).count();
     assert_eq!(iter_lines, 8, "one iter event per --steps iteration");
     let _ = std::fs::remove_dir_all(dir);
 }

@@ -173,7 +173,7 @@ fn jsonl_stream_is_schema_valid_with_one_iter_event_per_step() {
     // Golden schema: the version stamp and event kind lead every line.
     for line in text.lines() {
         assert!(
-            line.starts_with("{\"v\":2,\"event\":\""),
+            line.starts_with("{\"v\":3,\"event\":\""),
             "line does not lead with schema header: {line}"
         );
     }

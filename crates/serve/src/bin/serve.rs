@@ -1,0 +1,172 @@
+//! `graphrare-serve` — the multi-tenant run-serving daemon.
+//!
+//! ```text
+//! graphrare-serve --listen unix:/tmp/graphrare.sock [--listen tcp:127.0.0.1:7464]
+//!                 --state-dir DIR [--max-runs N] [--max-queue N]
+//!                 [--checkpoint-every N] [--telemetry-out PATH] [--quiet]
+//! ```
+//!
+//! The daemon hosts many concurrent GraphRARE runs (submitted with
+//! `graphrare-client`), each on its own worker thread with periodic
+//! checkpoints under `--state-dir`. On SIGTERM/SIGINT (or a client
+//! `shutdown` request) it stops admitting work, checkpoints every
+//! active run, flushes telemetry, and exits 0; restarting over the same
+//! state directory resumes the interrupted runs from their checkpoints.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use graphrare_serve::{Listen, ServeConfig, Server};
+use graphrare_telemetry::{self as telemetry, progress};
+
+/// Set by the signal handler; polled by the main loop. Storing a flag
+/// is the only async-signal-safe thing the handler does.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT (2) and SIGTERM (15) through libc's
+/// `signal`, which std already links — no external crate needed.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+struct Args {
+    listens: Vec<Listen>,
+    state_dir: PathBuf,
+    max_runs: usize,
+    max_queue: usize,
+    checkpoint_every: usize,
+    telemetry_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphrare-serve --listen unix:PATH|tcp:HOST:PORT [--listen ...] \
+         --state-dir DIR [--max-runs N] [--max-queue N] [--checkpoint-every N] \
+         [--telemetry-out PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listens: Vec::new(),
+        state_dir: PathBuf::new(),
+        max_runs: 2,
+        max_queue: 8,
+        checkpoint_every: 5,
+        telemetry_out: None,
+        quiet: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut have_state_dir = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--listen" => match Listen::parse(&value(&mut i)) {
+                Ok(listen) => args.listens.push(listen),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            },
+            "--state-dir" => {
+                args.state_dir = PathBuf::from(value(&mut i));
+                have_state_dir = true;
+            }
+            "--max-runs" => args.max_runs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-queue" => args.max_queue = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--telemetry-out" => args.telemetry_out = Some(PathBuf::from(value(&mut i))),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if args.listens.is_empty() || !have_state_dir || args.max_runs == 0 {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    telemetry::install_panic_hook();
+    let code = run_main();
+    telemetry::clear_sinks();
+    code
+}
+
+fn run_main() -> ExitCode {
+    let args = parse_args();
+    telemetry::init_from_env();
+    if args.quiet {
+        telemetry::set_quiet(true);
+    }
+    if let Some(path) = &args.telemetry_out {
+        match telemetry::JsonlSink::create(path) {
+            Ok(sink) => {
+                telemetry::add_sink(Box::new(sink));
+                telemetry::set_enabled(true);
+            }
+            Err(e) => {
+                eprintln!("failed to open telemetry output {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    install_signal_handlers();
+
+    let mut cfg = ServeConfig::new(&args.state_dir);
+    cfg.max_runs = args.max_runs;
+    cfg.max_queue = args.max_queue;
+    cfg.checkpoint_every = args.checkpoint_every;
+
+    let server = match Server::start(cfg, &args.listens) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for listen in &args.listens {
+        match listen {
+            Listen::Unix(path) => progress!("listening on unix:{}", path.display()),
+            Listen::Tcp(addr) => progress!("listening on tcp:{addr}"),
+        }
+    }
+
+    // Serve until a signal or a client shutdown request arrives.
+    while !STOP.load(Ordering::SeqCst) && !server.shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    progress!("shutting down: checkpointing active runs");
+    server.request_shutdown();
+    server.join();
+    progress!("shutdown complete");
+    ExitCode::SUCCESS
+}

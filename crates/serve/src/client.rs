@@ -1,0 +1,40 @@
+//! Blocking client connection to a serving daemon.
+
+use std::io::{Read, Write};
+
+use crate::proto::{read_response, write_request, ProtoError, Request, Response};
+use crate::server::Listen;
+
+/// `Read + Write` object-safe alias so one connection type covers unix
+/// and TCP streams.
+trait ReadWrite: Read + Write {}
+impl<T: Read + Write> ReadWrite for T {}
+
+/// One client connection. The protocol is strict request/response, so
+/// a connection can be reused for any number of sequential requests.
+pub struct Connection {
+    stream: Box<dyn ReadWrite>,
+}
+
+impl Connection {
+    /// Connects to a daemon endpoint.
+    pub fn connect(listen: &Listen) -> Result<Connection, ProtoError> {
+        let stream: Box<dyn ReadWrite> = match listen {
+            Listen::Unix(path) => Box::new(
+                std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| ProtoError::Io(format!("{}: {e}", path.display())))?,
+            ),
+            Listen::Tcp(addr) => Box::new(
+                std::net::TcpStream::connect(addr)
+                    .map_err(|e| ProtoError::Io(format!("{addr}: {e}")))?,
+            ),
+        };
+        Ok(Connection { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_request(&mut self.stream, req)?;
+        read_response(&mut self.stream)
+    }
+}

@@ -1,0 +1,163 @@
+//! Adversarial frames: truncated, corrupted, oversized and
+//! wrong-version byte streams must come back as typed
+//! [`ProtoError`]s (or a dropped connection at the daemon) — the
+//! decode path never panics, whatever the bytes.
+
+use proptest::prelude::*;
+
+use graphrare::RlAlgo;
+use graphrare_gnn::Backbone;
+use graphrare_serve::proto::{
+    read_frame, write_request, FrameRead, ProtoError, Request, Response, RunSpec, HEADER_LEN,
+    MAGIC, MAX_PAYLOAD, PROTO_VERSION,
+};
+
+/// A frame shaped like real traffic: a submit request with a
+/// multi-field payload (string, tags, scalars). Its payload length
+/// matches no other request kind's expected size, so a flipped kind
+/// byte can never silently re-parse as a different valid request.
+fn sample_frame() -> Vec<u8> {
+    let spec = RunSpec {
+        input: "data/toy".into(),
+        backbone: Backbone::Gcn,
+        steps: 24,
+        seed: 11,
+        split_seed: 2,
+        k_cap: 10,
+        lambda: 1.0,
+        algo: RlAlgo::Ppo,
+        threads: 1,
+        paced: false,
+    };
+    let mut frame = Vec::new();
+    write_request(&mut frame, &Request::SubmitRun(spec)).unwrap();
+    frame
+}
+
+/// Reads the frame and, when the frame layer accepts, pushes the
+/// payload through both payload decoders. Returns whether any layer
+/// accepted the bytes as a complete request frame.
+fn decodes_cleanly(bytes: &[u8]) -> bool {
+    match read_frame(&mut &bytes[..]) {
+        Ok(FrameRead::Frame(kind, payload)) => Request::decode(kind, &payload).is_ok(),
+        _ => false,
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_for_every_version() {
+    let frame = sample_frame();
+    for version in (0..=u16::MAX).filter(|&v| v != PROTO_VERSION) {
+        let mut bad = frame.clone();
+        bad[4..6].copy_from_slice(&version.to_le_bytes());
+        match read_frame(&mut bad.as_slice()) {
+            Err(ProtoError::BadVersion(v)) => assert_eq!(v, version),
+            other => panic!("version {version}: expected BadVersion, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_never_allocates() {
+    // A hostile length prefix up to u32::MAX must be refused before
+    // any payload allocation happens.
+    for len in [MAX_PAYLOAD + 1, u32::MAX / 2, u32::MAX] {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        frame.push(1);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(ProtoError::Oversized(n)) if n == len
+        ));
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_is_typed() {
+    let frame = sample_frame();
+    assert!(matches!(read_frame(&mut [].as_slice()), Ok(FrameRead::Eof)));
+    for cut in 1..frame.len() {
+        match read_frame(&mut &frame[..cut]) {
+            Err(ProtoError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single-byte corruption anywhere in a frame is detected:
+    /// header fields by their own checks, payload and CRC bytes by the
+    /// CRC-32, and the kind byte by the payload decoder.
+    #[test]
+    fn random_flip_never_decodes(seed in any::<u64>(), mask in 1u8..=255) {
+        let mut frame = sample_frame();
+        let at = (seed % frame.len() as u64) as usize;
+        frame[at] ^= mask;
+        prop_assert!(!decodes_cleanly(&frame));
+    }
+
+    /// Every proper prefix of a valid frame is a typed truncation
+    /// error (an empty stream is a clean EOF, not an error).
+    #[test]
+    fn random_truncation_never_decodes(seed in any::<u64>()) {
+        let frame = sample_frame();
+        let cut = (seed % frame.len() as u64) as usize;
+        match read_frame(&mut &frame[..cut]) {
+            Ok(FrameRead::Eof) => prop_assert_eq!(cut, 0),
+            Err(ProtoError::Truncated) => {}
+            other => prop_assert!(false, "cut {}: {:?}", cut, other),
+        }
+    }
+
+    /// Random byte soup never panics the frame reader; in the
+    /// astronomically unlikely event it frames (magic, version and CRC
+    /// all align), the payload decoders still only return Results.
+    #[test]
+    fn garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(FrameRead::Frame(kind, payload)) = read_frame(&mut garbage.as_slice()) {
+            let _ = Request::decode(kind, &payload);
+            let _ = Response::decode(kind, &payload);
+        }
+    }
+
+    /// Arbitrary payload bytes presented under every possible kind
+    /// byte: both decoders must accept or reject, never panic — even
+    /// when length prefixes inside the payload lie about sizes.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        for kind in 0..=u8::MAX {
+            let _ = Request::decode(kind, &payload);
+            let _ = Response::decode(kind, &payload);
+        }
+    }
+
+    /// A flipped byte in the CRC trailer itself is always a CRC
+    /// mismatch — the trailer is part of the verification, not trusted.
+    #[test]
+    fn crc_trailer_flip_is_always_caught(mask in 1u8..=255, which in 0usize..4) {
+        let mut frame = sample_frame();
+        let at = frame.len() - 4 + which;
+        frame[at] ^= mask;
+        prop_assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(ProtoError::CrcMismatch { .. })
+        ));
+    }
+}
+
+// Keep the header-geometry assumption the flip test relies on honest.
+#[test]
+fn header_layout_is_stable() {
+    let frame = sample_frame();
+    assert_eq!(&frame[..4], &MAGIC.to_le_bytes());
+    assert_eq!(&frame[4..6], &PROTO_VERSION.to_le_bytes());
+    let len = u32::from_le_bytes(frame[7..11].try_into().unwrap()) as usize;
+    assert_eq!(frame.len(), HEADER_LEN + len + 4);
+}

@@ -16,8 +16,10 @@ use std::fmt::Write as _;
 /// History: v1 — flat events (`iter`, `run_end`, `entropy_*`, …);
 /// v2 — adds the hierarchical `span` event (`span_id`, optional
 /// `parent_id`, `path`, `ns`, `self_ns`, `start_ns`, optional
-/// `alloc_n`/`alloc_bytes`). Consumers accept both.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `alloc_n`/`alloc_bytes`); v3 — adds the optional `run_id` field on
+/// every event kind, tagging events of a run multiplexed through the
+/// serving daemon. Consumers accept all three.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A single telemetry field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,7 +101,7 @@ impl Event {
     }
 
     /// Serialises the event as one JSONL line (no trailing newline):
-    /// `{"v":2,"event":"<kind>",...fields...}`.
+    /// `{"v":3,"event":"<kind>",...fields...}`.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(64 + 16 * self.fields.len());
         let _ = write!(out, "{{\"v\":{SCHEMA_VERSION},\"event\":");
@@ -165,7 +167,7 @@ mod tests {
             .str("phase", "drl");
         assert_eq!(
             e.to_json_line(),
-            "{\"v\":2,\"event\":\"iter\",\"step\":3,\"reward\":0.5,\
+            "{\"v\":3,\"event\":\"iter\",\"step\":3,\"reward\":0.5,\
              \"edge_delta\":-2,\"finetuned\":true,\"phase\":\"drl\"}"
         );
     }
@@ -173,13 +175,13 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         let e = Event::new("x").f64("nan", f64::NAN).f64("inf", f64::INFINITY);
-        assert_eq!(e.to_json_line(), "{\"v\":2,\"event\":\"x\",\"nan\":null,\"inf\":null}");
+        assert_eq!(e.to_json_line(), "{\"v\":3,\"event\":\"x\",\"nan\":null,\"inf\":null}");
     }
 
     #[test]
     fn strings_are_escaped() {
         let e = Event::new("x").str("s", "a\"b\\c\nd\u{1}");
-        assert_eq!(e.to_json_line(), "{\"v\":2,\"event\":\"x\",\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+        assert_eq!(e.to_json_line(), "{\"v\":3,\"event\":\"x\",\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
     }
 
     #[test]

@@ -251,9 +251,10 @@ impl Parser<'_> {
     }
 }
 
-/// Schema versions a consumer accepts: v1 (flat events) and v2 (adds
-/// the hierarchical `span` event). See [`SCHEMA_VERSION`] history.
-pub const ACCEPTED_VERSIONS: [u32; 2] = [1, SCHEMA_VERSION];
+/// Schema versions a consumer accepts: v1 (flat events), v2 (adds the
+/// hierarchical `span` event) and v3 (adds the optional `run_id`
+/// tag). See [`SCHEMA_VERSION`] history.
+pub const ACCEPTED_VERSIONS: [u32; 3] = [1, 2, SCHEMA_VERSION];
 
 /// Reads a field as a non-negative integer (the schema emits all ids,
 /// counts and durations as u64, well below 2^53).
@@ -264,9 +265,10 @@ fn get_u64(value: &Json, key: &str) -> Option<u64> {
 
 /// Validates one JSONL event line: parses it, checks it is an object
 /// carrying an accepted `"v"` schema version and an `"event"` string,
-/// and — for v2 `span` events — checks the required span fields
-/// (`name`, `span_id`, `path`, `ns`; `parent_id` when present must be
-/// a positive integer).
+/// checks the optional v3 `run_id` tag (when present it must be a
+/// positive integer on any event kind), and — for `span` events —
+/// checks the required span fields (`name`, `span_id`, `path`, `ns`;
+/// `parent_id` when present must be a positive integer).
 pub fn validate_event_line(line: &str) -> Result<Json, String> {
     let value = parse(line)?;
     match value.get("v").and_then(Json::as_f64) {
@@ -278,6 +280,9 @@ pub fn validate_event_line(line: &str) -> Result<Json, String> {
         Some(kind) => kind,
         None => return Err("missing \"event\" kind field".into()),
     };
+    if value.get("run_id").is_some() && get_u64(&value, "run_id").is_none_or(|r| r == 0) {
+        return Err("\"run_id\" must be a positive integer".into());
+    }
     if kind == "span" {
         if value.get("name").and_then(Json::as_str).is_none() {
             return Err("span event: missing string \"name\"".into());
@@ -407,9 +412,26 @@ mod tests {
     }
 
     #[test]
-    fn validate_accepts_both_schema_versions() {
+    fn validate_accepts_all_schema_versions() {
         assert!(validate_event_line("{\"v\":1,\"event\":\"iter\",\"step\":3}").is_ok());
         assert!(validate_event_line("{\"v\":2,\"event\":\"iter\",\"step\":3}").is_ok());
+        assert!(validate_event_line("{\"v\":3,\"event\":\"iter\",\"step\":3}").is_ok());
+    }
+
+    #[test]
+    fn validate_checks_run_id_tags() {
+        assert!(validate_event_line("{\"v\":3,\"event\":\"iter\",\"run_id\":7}").is_ok());
+        let span = "{\"v\":3,\"event\":\"span\",\"name\":\"a\",\"span_id\":1,\
+                    \"path\":\"a\",\"ns\":1,\"run_id\":2}";
+        assert!(validate_event_line(span).is_ok());
+        for (bad, why) in [
+            ("{\"v\":3,\"event\":\"iter\",\"run_id\":0}", "zero run_id"),
+            ("{\"v\":3,\"event\":\"iter\",\"run_id\":1.5}", "fractional run_id"),
+            ("{\"v\":3,\"event\":\"iter\",\"run_id\":\"x\"}", "string run_id"),
+            ("{\"v\":3,\"event\":\"iter\",\"run_id\":-1}", "negative run_id"),
+        ] {
+            assert!(validate_event_line(bad).is_err(), "accepted event with {why}");
+        }
     }
 
     #[test]

@@ -24,9 +24,11 @@
 //! * **Events** ([`Event`], [`emit_with`]) are structured records
 //!   fanned out to pluggable [`Sink`]s: a human-readable stderr sink
 //!   and a machine-readable JSONL sink with schema version
-//!   [`SCHEMA_VERSION`]; completed spans emit v2 `span` events
-//!   consumed offline by the `graphrare-trace` CLI (flamegraphs,
-//!   timelines, percentile tables, run diffs).
+//!   [`SCHEMA_VERSION`]; completed spans emit `span` events consumed
+//!   offline by the `graphrare-trace` CLI (flamegraphs, timelines,
+//!   percentile tables, run diffs). Threads driving one of many
+//!   multiplexed runs (the serving daemon) tag every event with a
+//!   `run_id` via [`set_run_id`].
 //! * The **registry** ([`registry`]) is global and thread-safe,
 //!   controlled by the `GRAPHRARE_TELEMETRY` environment variable
 //!   ([`init_from_env`]) or CLI flags, and costs one relaxed atomic
@@ -57,9 +59,9 @@ pub use metrics::{
     Histogram, MetricsStore, PathStats, PathSummary, Reservoir, SpanStats, SpanSummary, Summary,
 };
 pub use registry::{
-    add_sink, clear_sinks, counter, emit, emit_with, enabled, flush, gauge_max, init_from_env,
-    install_panic_hook, progress_args, quiet, record_span, reset, set_enabled, set_quiet, snapshot,
-    span, SpanGuard, Stopwatch,
+    add_sink, clear_sinks, counter, current_run_id, emit, emit_with, enabled, flush, gauge_max,
+    init_from_env, install_panic_hook, progress_args, quiet, record_span, reset, set_enabled,
+    set_quiet, set_run_id, snapshot, span, SpanGuard, Stopwatch,
 };
 pub use sink::{JsonlSink, Sink, StderrSink, VecSink};
 
@@ -284,6 +286,46 @@ mod tests {
         }
         // Sibling roots opened later get fresh root paths.
         assert!(s.path("test.h.child").is_none(), "child must not appear as a root path");
+    }
+
+    #[test]
+    fn run_id_tags_events_and_spans_per_thread() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        clear_sinks();
+        let (sink, events) = VecSink::new();
+        add_sink(Box::new(sink));
+        assert_eq!(current_run_id(), None);
+        set_run_id(Some(42));
+        assert_eq!(current_run_id(), Some(42));
+        emit_with(|| Event::new("tagged").u64("n", 1));
+        {
+            let _s = span("test.run.tagged");
+        }
+        record_span("test.run.direct", 10);
+        // Another thread is untagged: run ids never leak across workers.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert_eq!(current_run_id(), None);
+                emit_with(|| Event::new("untagged"));
+            });
+        });
+        set_run_id(None);
+        emit_with(|| Event::new("cleared"));
+        set_enabled(false);
+        clear_sinks();
+        let events = events.lock().unwrap();
+        let run_of = |kind: &str| {
+            events.iter().find(|e| e.kind() == kind).and_then(|e| event_u64(e, "run_id"))
+        };
+        assert_eq!(run_of("tagged"), Some(42));
+        assert_eq!(run_of("span"), Some(42), "span events carry the worker's run_id");
+        assert_eq!(run_of("untagged"), None);
+        assert_eq!(run_of("cleared"), None);
+        for e in events.iter() {
+            assert!(json::validate_event_line(&e.to_json_line()).is_ok());
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! * CLI — the `graphrare` binary maps `--telemetry` /
 //!   `--telemetry-out PATH` onto the same calls.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
@@ -87,6 +87,33 @@ struct Frame {
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// The run this thread's events belong to, when it executes one of
+    /// many multiplexed runs (the serving daemon sets it per worker).
+    static RUN_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Tags every event emitted from this thread with `run_id` (schema-v3
+/// optional field), or clears the tag with `None`. Scoped to the
+/// calling thread: a daemon worker sets it once before driving a run
+/// so multiplexed JSONL streams stay separable per run.
+pub fn set_run_id(id: Option<u64>) {
+    RUN_ID.with(|cell| cell.set(id));
+}
+
+/// The calling thread's run tag, if any. Reads `None` once the
+/// thread-local has been torn down (the panic hook may fire during
+/// thread exit), so tagging never aborts a crashing process.
+pub fn current_run_id() -> Option<u64> {
+    RUN_ID.try_with(Cell::get).unwrap_or(None)
+}
+
+/// Appends the thread's `run_id` field when a run tag is set.
+fn tag_run(event: Event) -> Event {
+    match current_run_id() {
+        Some(id) => event.u64("run_id", id),
+        None => event,
+    }
 }
 
 /// Whether telemetry recording is on. One relaxed atomic load.
@@ -205,6 +232,7 @@ pub fn install_panic_hook() {
                     if let Some(loc) = info.location() {
                         ev = ev.str("file", loc.file()).u64("line", u64::from(loc.line()));
                     }
+                    let ev = tag_run(ev);
                     for sink in &mut guard.sinks {
                         sink.emit(&ev);
                     }
@@ -265,7 +293,7 @@ pub fn record_span(name: &'static str, ns: u64) {
     with_state(|s| {
         s.metrics.record_span(name, ns);
         s.metrics.record_path(&path, ns, ns, 0, 0, None);
-        let event = span_event(
+        let event = tag_run(span_event(
             name,
             span_id,
             parent_id,
@@ -275,7 +303,7 @@ pub fn record_span(name: &'static str, ns: u64) {
             end_offset_ns.saturating_sub(ns),
             0,
             0,
-        );
+        ));
         for sink in &mut s.sinks {
             sink.emit(&event);
         }
@@ -311,6 +339,7 @@ pub fn emit(event: Event) {
     if !enabled() {
         return;
     }
+    let event = tag_run(event);
     with_state(|s| {
         for sink in &mut s.sinks {
             sink.emit(&event);
@@ -391,7 +420,7 @@ impl Drop for SpanGuard {
                 with_state(|s| {
                     s.metrics.record_span(self.name, ns);
                     s.metrics.record_path(&frame.path, ns, self_ns, alloc_n, alloc_bytes, peak);
-                    let event = span_event(
+                    let event = tag_run(span_event(
                         self.name,
                         frame.span_id,
                         frame.parent_id,
@@ -401,7 +430,7 @@ impl Drop for SpanGuard {
                         frame.start_offset_ns,
                         alloc_n,
                         alloc_bytes,
-                    );
+                    ));
                     for sink in &mut s.sinks {
                         sink.emit(&event);
                     }

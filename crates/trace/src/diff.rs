@@ -140,6 +140,7 @@ mod tests {
             start_ns: 0,
             alloc_count: 0,
             alloc_bytes: 0,
+            run_id: None,
         }
     }
 

@@ -32,6 +32,6 @@ pub mod timeline;
 
 pub use diff::{diff, render_diff, DiffReport, DiffRow};
 pub use flame::{folded_stacks, render_folded, root_totals};
-pub use model::{parse_spans, parse_spans_file, Span};
+pub use model::{filter_run, parse_spans, parse_spans_file, Span};
 pub use percentiles::{percentile_rows, render_percentiles, PathRow};
 pub use timeline::render_timeline;

@@ -1,9 +1,9 @@
 //! `graphrare-trace` — offline analyzer for telemetry JSONL streams.
 //!
 //! ```text
-//! graphrare-trace timeline RUN.jsonl
-//! graphrare-trace flame RUN.jsonl [--out STACKS.folded]
-//! graphrare-trace percentiles RUN.jsonl
+//! graphrare-trace timeline RUN.jsonl [--run-id N]
+//! graphrare-trace flame RUN.jsonl [--out STACKS.folded] [--run-id N]
+//! graphrare-trace percentiles RUN.jsonl [--run-id N]
 //! graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]
 //! ```
 //!
@@ -11,21 +11,61 @@
 //! renderers; `percentiles` prints exact per-path p50/p90/p99 over the
 //! whole stream; `diff` compares per-path totals of two runs and exits
 //! non-zero when any path regresses past the threshold (default 10%),
-//! which is how `scripts/check.sh` uses it as a perf gate.
+//! which is how `scripts/check.sh` uses it as a perf gate. `--run-id`
+//! keeps only spans tagged with that run (schema v3), separating one
+//! run out of a daemon-multiplexed stream.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use graphrare_trace::{
-    diff, folded_stacks, parse_spans_file, percentile_rows, render_diff, render_folded,
-    render_percentiles, render_timeline,
+    diff, filter_run, folded_stacks, parse_spans_file, percentile_rows, render_diff, render_folded,
+    render_percentiles, render_timeline, Span,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: graphrare-trace timeline RUN.jsonl\n       graphrare-trace flame RUN.jsonl [--out FILE]\n       graphrare-trace percentiles RUN.jsonl\n       graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]"
+        "usage: graphrare-trace timeline RUN.jsonl [--run-id N]\n       graphrare-trace flame RUN.jsonl [--out FILE] [--run-id N]\n       graphrare-trace percentiles RUN.jsonl [--run-id N]\n       graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]"
     );
     ExitCode::from(2)
+}
+
+/// Splits `--run-id N` out of an option list, leaving the rest for the
+/// subcommand's own parser.
+fn take_run_id(opts: &[String]) -> Result<(Option<u64>, Vec<String>), String> {
+    let mut run_id = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < opts.len() {
+        if opts[i] == "--run-id" {
+            let v = opts.get(i + 1).ok_or("--run-id needs a value")?;
+            match v.parse::<u64>() {
+                Ok(id) if id > 0 => run_id = Some(id),
+                _ => return Err(format!("bad --run-id {v:?} (positive integer required)")),
+            }
+            i += 2;
+        } else {
+            rest.push(opts[i].clone());
+            i += 1;
+        }
+    }
+    Ok((run_id, rest))
+}
+
+/// Parses a stream (full-stream schema and forest validation first),
+/// then optionally narrows to one run's spans.
+fn load_spans(file: &str, run_id: Option<u64>) -> Result<Vec<Span>, String> {
+    let spans = parse_spans_file(Path::new(file))?;
+    match run_id {
+        Some(id) => {
+            let kept = filter_run(&spans, id);
+            if kept.is_empty() {
+                return Err(format!("{file}: no spans tagged run_id {id}"));
+            }
+            Ok(kept)
+        }
+        None => Ok(spans),
+    }
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -82,29 +122,35 @@ fn run_diff(base: &Path, cand: &Path, opts: &[String]) -> Result<ExitCode, Strin
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<ExitCode, String> = match argv.as_slice() {
-        [cmd, file] if cmd == "timeline" => parse_spans_file(Path::new(file)).and_then(|spans| {
-            emit(&render_timeline(&spans))?;
-            Ok(ExitCode::SUCCESS)
-        }),
-        [cmd, file, rest @ ..] if cmd == "flame" => {
-            let out = match rest {
-                [] => None,
-                [flag, path] if flag == "--out" => Some(PathBuf::from(path)),
-                _ => return usage(),
-            };
-            parse_spans_file(Path::new(file)).and_then(|spans| {
-                let folded = render_folded(&folded_stacks(&spans));
-                match out {
-                    Some(path) => std::fs::write(&path, &folded)
-                        .map_err(|e| format!("failed to write {}: {e}", path.display()))?,
-                    None => emit(&folded)?,
+        [cmd, file, rest @ ..] if cmd == "timeline" => {
+            take_run_id(rest).and_then(|(run_id, rest)| {
+                if !rest.is_empty() {
+                    return Err(format!("unknown timeline option {}", rest[0]));
                 }
+                emit(&render_timeline(&load_spans(file, run_id)?))?;
                 Ok(ExitCode::SUCCESS)
             })
         }
-        [cmd, file] if cmd == "percentiles" => {
-            parse_spans_file(Path::new(file)).and_then(|spans| {
-                emit(&render_percentiles(&percentile_rows(&spans)))?;
+        [cmd, file, rest @ ..] if cmd == "flame" => take_run_id(rest).and_then(|(run_id, rest)| {
+            let out = match rest.as_slice() {
+                [] => None,
+                [flag, path] if flag == "--out" => Some(PathBuf::from(path)),
+                _ => return Err(format!("unknown flame option {}", rest[0])),
+            };
+            let folded = render_folded(&folded_stacks(&load_spans(file, run_id)?));
+            match out {
+                Some(path) => std::fs::write(&path, &folded)
+                    .map_err(|e| format!("failed to write {}: {e}", path.display()))?,
+                None => emit(&folded)?,
+            }
+            Ok(ExitCode::SUCCESS)
+        }),
+        [cmd, file, rest @ ..] if cmd == "percentiles" => {
+            take_run_id(rest).and_then(|(run_id, rest)| {
+                if !rest.is_empty() {
+                    return Err(format!("unknown percentiles option {}", rest[0]));
+                }
+                emit(&render_percentiles(&percentile_rows(&load_spans(file, run_id)?)))?;
                 Ok(ExitCode::SUCCESS)
             })
         }

@@ -28,6 +28,10 @@ pub struct Span {
     pub alloc_count: u64,
     /// Bytes requested by those allocations.
     pub alloc_bytes: u64,
+    /// The run this span belongs to when the stream multiplexes
+    /// several (schema-v3 tag from the serving daemon); `None` for
+    /// solo-run streams.
+    pub run_id: Option<u64>,
 }
 
 impl Span {
@@ -63,7 +67,15 @@ fn span_from_event(line_no: usize, event: &Json) -> Result<Span, String> {
         start_ns: field("start_ns")?,
         alloc_count: u64_field(event, "alloc_n").unwrap_or(0),
         alloc_bytes: u64_field(event, "alloc_bytes").unwrap_or(0),
+        run_id: u64_field(event, "run_id"),
     })
+}
+
+/// Keeps only the spans tagged with `run_id` — how the analyzers
+/// separate one run out of a daemon-multiplexed stream. Untagged spans
+/// (solo-run streams, pre-v3 events) never match a filter.
+pub fn filter_run(spans: &[Span], run_id: u64) -> Vec<Span> {
+    spans.iter().filter(|s| s.run_id == Some(run_id)).cloned().collect()
 }
 
 /// Parses a telemetry JSONL stream and returns its spans, in stream

@@ -96,6 +96,7 @@ mod tests {
                 start_ns: i,
                 alloc_count: 0,
                 alloc_bytes: 0,
+                run_id: None,
             })
             .collect();
         let rows = percentile_rows(&spans);

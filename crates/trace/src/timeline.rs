@@ -51,6 +51,7 @@ mod tests {
             start_ns: start,
             alloc_count: 0,
             alloc_bytes: 0,
+            run_id: None,
         };
         // Stream order is drop order (children first); the timeline
         // must re-sort by start.

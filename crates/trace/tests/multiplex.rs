@@ -1,0 +1,75 @@
+//! Golden-fixture contract for daemon-multiplexed streams: a checked-in
+//! v3 JSONL stream interleaving two runs (`run_id` 1 and 2) must
+//! validate as one stream, separate cleanly per run, and fold each
+//! run's stacks independently through the `--run-id` CLI filter.
+
+use std::path::Path;
+use std::process::Command;
+
+use graphrare_telemetry::json;
+use graphrare_trace::{filter_run, folded_stacks, parse_spans_file};
+
+const MULTIPLEX: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_v3_multiplex.jsonl");
+
+#[test]
+fn multiplexed_fixture_lints_as_one_stream() {
+    // The interleaved stream is a single valid JSONL file: every line
+    // carries an accepted version, run tags are well-formed, and the
+    // span forest (across both runs) is closed.
+    let n = json::validate_jsonl_file(Path::new(MULTIPLEX)).expect("fixture lints");
+    assert_eq!(n, 14);
+}
+
+#[test]
+fn run_filter_separates_interleaved_runs() {
+    let spans = parse_spans_file(Path::new(MULTIPLEX)).expect("fixture parses");
+    assert_eq!(spans.len(), 6, "both runs' spans, non-span events skipped");
+
+    let run1 = filter_run(&spans, 1);
+    let run2 = filter_run(&spans, 2);
+    assert_eq!(run1.len(), 3);
+    assert_eq!(run2.len(), 3);
+    assert!(run1.iter().all(|s| s.run_id == Some(1)));
+    assert!(run2.iter().all(|s| s.run_id == Some(2)));
+    assert!(filter_run(&spans, 3).is_empty(), "unknown run matches nothing");
+
+    // Each run keeps its own intact tree: the filtered run-1 root is
+    // span 101 and both steps parent to it.
+    let root1 = run1.iter().find(|s| s.parent_id.is_none()).unwrap();
+    assert_eq!(root1.span_id, 101);
+    assert!(run1.iter().filter(|s| s.parent_id == Some(101)).count() == 2);
+
+    // Folded totals telescope per run, not across the mixture.
+    let folded1 = folded_stacks(&run1);
+    let folded2 = folded_stacks(&run2);
+    assert_eq!(folded1.get("driver.run"), Some(&150_000));
+    assert_eq!(folded1.get("driver.run;driver.step"), Some(&250_000));
+    assert_eq!(folded2.get("driver.run"), Some(&240_000));
+    assert_eq!(folded2.get("driver.run;driver.step"), Some(&260_000));
+}
+
+#[test]
+fn cli_run_id_flag_filters_every_view() {
+    let bin = env!("CARGO_BIN_EXE_graphrare-trace");
+    let run = |args: &[&str]| Command::new(bin).args(args).output().expect("binary runs");
+
+    let flame = run(&["flame", MULTIPLEX, "--run-id", "1"]);
+    assert!(flame.status.success());
+    let stdout = String::from_utf8(flame.stdout).unwrap();
+    assert!(stdout.contains("driver.run;driver.step 250000"), "{stdout}");
+    assert!(!stdout.contains("260000"), "run 2 must be filtered out: {stdout}");
+
+    let pct = run(&["percentiles", MULTIPLEX, "--run-id", "2"]);
+    assert!(pct.status.success());
+    let stdout = String::from_utf8(pct.stdout).unwrap();
+    assert!(stdout.contains("driver.run/driver.step"), "{stdout}");
+
+    assert!(run(&["timeline", MULTIPLEX, "--run-id", "1"]).status.success());
+    // Unfiltered views still work on the mixed stream.
+    assert!(run(&["timeline", MULTIPLEX]).status.success());
+
+    // An unknown run id is a hard error, not an empty report.
+    assert!(!run(&["timeline", MULTIPLEX, "--run-id", "9"]).status.success());
+    assert!(!run(&["timeline", MULTIPLEX, "--run-id", "0"]).status.success());
+}

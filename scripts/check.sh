@@ -39,7 +39,10 @@ echo "==> CLI telemetry smoke (--telemetry-out JSONL must validate)"
 cargo build -q --release -p graphrare --bin graphrare
 cargo build -q --release -p graphrare-bench --bin telemetry_lint
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+serve_pid=""
+serve2_pid=""
+# Also reap any serving daemon a failed smoke leaves behind.
+trap 'kill ${serve_pid:-} ${serve2_pid:-} 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
 target/release/telemetry_lint --make-fixture "$smoke_dir/toy"
 target/release/graphrare \
     --input "$smoke_dir/toy" \
@@ -104,5 +107,77 @@ cargo build -q --release -p graphrare-bench --bin bench_entropy
 # wholesale fallback (a from-scratch rebuild) over both candidate pools
 # and exits non-zero on any divergence in H bits or rankings.
 target/release/bench_entropy --quick --check-only --output "$smoke_dir/bench_entropy.json"
+
+echo "==> serving daemon smoke (concurrent runs bit-identical to solo; kill -9 resume)"
+cargo build -q --release -p graphrare-serve --bin graphrare-serve --bin graphrare-client
+serve_dir="$smoke_dir/serve"
+mkdir -p "$serve_dir"
+sock="$serve_dir/daemon.sock"
+client() { target/release/graphrare-client --connect "unix:$sock" "$@"; }
+
+# Daemon lifetime 1: it will be killed with -9 mid-run, which truncates
+# any buffered JSONL mid-line, so only the graceful lifetime below gets
+# a --telemetry-out stream to lint.
+target/release/graphrare-serve --listen "unix:$sock" --state-dir "$serve_dir/state" \
+    --max-runs 2 --checkpoint-every 2 --quiet &
+serve_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "daemon socket never appeared" >&2; exit 1; }
+
+# Two concurrent runs watched to completion; their fetched artifacts
+# must be byte-identical to solo CLI runs of the same specs.
+run1=$(client submit --input "$smoke_dir/toy" --steps 6 --seed 1 --threads 1 | sed -n 's/^run_id=//p')
+run2=$(client submit --input "$smoke_dir/toy" --steps 6 --seed 2 --threads 1 | sed -n 's/^run_id=//p')
+client watch "$run1" > /dev/null 2>&1
+client watch "$run2" > /dev/null 2>&1
+client result "$run1" --out "$serve_dir/served-1.grrs" > /dev/null
+client result "$run2" --out "$serve_dir/served-2.grrs" > /dev/null
+target/release/graphrare --input "$smoke_dir/toy" --steps 6 --seed 1 --threads 1 --quiet \
+    --save-model "$serve_dir/solo-1.grrs" > /dev/null
+target/release/graphrare --input "$smoke_dir/toy" --steps 6 --seed 2 --threads 1 --quiet \
+    --save-model "$serve_dir/solo-2.grrs" > /dev/null
+cmp "$serve_dir/served-1.grrs" "$serve_dir/solo-1.grrs"
+cmp "$serve_dir/served-2.grrs" "$serve_dir/solo-2.grrs"
+
+# Run 3 is paced: advance it to step 4 (past two checkpoints), then
+# kill the daemon outright — no chance to checkpoint on the way down.
+run3=$(client submit --input "$smoke_dir/toy" --steps 6 --seed 3 --threads 1 --paced | sed -n 's/^run_id=//p')
+client budget "$run3" 4 > /dev/null
+step=""
+for _ in $(seq 200); do
+    step=$(client status "$run3" | sed -n 's/^step=//p')
+    [ "$step" = 4 ] && break
+    sleep 0.05
+done
+[ "$step" = 4 ] || { echo "run $run3 never reached step 4" >&2; exit 1; }
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
+# Daemon lifetime 2 over the same state dir: run 3 comes back from its
+# newest checkpoint and finishes bit-identical to an uninterrupted solo
+# run. This lifetime streams telemetry for the lint below.
+target/release/graphrare-serve --listen "unix:$sock" --state-dir "$serve_dir/state" \
+    --max-runs 2 --checkpoint-every 2 --quiet \
+    --telemetry-out "$serve_dir/serve-events.jsonl" &
+serve2_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "restarted daemon socket never appeared" >&2; exit 1; }
+client budget "$run3" 6 > /dev/null
+client watch "$run3" > /dev/null 2>&1
+client result "$run3" --out "$serve_dir/served-3.grrs" > /dev/null
+target/release/graphrare --input "$smoke_dir/toy" --steps 6 --seed 3 --threads 1 --quiet \
+    --save-model "$serve_dir/solo-3.grrs" > /dev/null
+cmp "$serve_dir/served-3.grrs" "$serve_dir/solo-3.grrs"
+
+# Graceful shutdown must flush telemetry and exit 0 (wait propagates a
+# non-zero daemon exit through set -e).
+client shutdown > /dev/null
+wait "$serve2_pid"
+target/release/telemetry_lint "$serve_dir/serve-events.jsonl"
+# The daemon's single stream demultiplexes by run id: the resumed run's
+# driver spans are there under its tag.
+target/release/graphrare-trace flame "$serve_dir/serve-events.jsonl" --run-id "$run3" |
+    grep -q '^driver\.run' ||
+    { echo "run $run3 spans missing from daemon telemetry" >&2; exit 1; }
 
 echo "All checks passed."
