@@ -284,7 +284,6 @@ fn main() {
     }
 
     let counters = telemetry::snapshot().since(&counter_base);
-    let alloc = telemetry::alloc::snapshot();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -302,13 +301,7 @@ fn main() {
         let _ = write!(json, ": {value}");
     }
     json.push_str("\n  },\n");
-    let _ = writeln!(
-        json,
-        "  \"alloc\": {{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}},",
-        alloc.count.saturating_sub(alloc_base.count),
-        alloc.bytes.saturating_sub(alloc_base.bytes),
-        alloc.peak_bytes
-    );
+    let _ = writeln!(json, "  \"alloc\": {},", telemetry::alloc::delta_json(&alloc_base));
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use graphrare_telemetry as telemetry;
 
-use graphrare::rewire::RewiredGraph;
+use graphrare::rewire::{RewireDelta, RewiredGraph};
 use graphrare::topology::{EditMode, TopologyOptimizer};
 use graphrare::TopoState;
 use graphrare_datasets::{generate_spec, DatasetSpec};
@@ -145,7 +145,7 @@ fn verify(inst: &Instance) -> Result<(), String> {
     rw.tensors().gcn_norm();
     for (i, actions) in inst.trace.iter().enumerate() {
         state.apply(actions);
-        rw.apply(&inst.topo, &state);
+        rw.apply(&inst.topo, &state).map_err(|e| format!("step {i}: rewire rejected: {e}"))?;
         let want = inst.topo.materialize(&state);
         if rw.graph().edge_vec() != want.edge_vec() {
             return Err(format!("step {i}: edge sets diverge"));
@@ -259,10 +259,12 @@ fn main() {
         let inc_total = median_ns(runs, || {
             let mut state = fresh_state(&inst.topo);
             let mut rw = RewiredGraph::new(&inst.topo);
+            let mut delta = RewireDelta::default();
             rw.tensors().gcn_norm();
             for actions in &inst.trace {
                 state.apply(actions);
-                rw.apply(&inst.topo, &state);
+                rw.apply_into(&inst.topo, &state, &mut delta)
+                    .expect("bench state was built against this optimizer");
                 std::hint::black_box(rw.tensors().gcn_norm());
                 std::hint::black_box(rw.homophily_ratio());
                 std::hint::black_box(rw.num_edges());
@@ -300,7 +302,6 @@ fn main() {
     }
 
     let counters = telemetry::snapshot().since(&counter_base);
-    let alloc = telemetry::alloc::snapshot();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -318,15 +319,10 @@ fn main() {
         let _ = write!(json, ": {value}");
     }
     json.push_str("\n  },\n");
-    // Heap traffic across the whole benchmark (counting allocator);
-    // peak is the process high-water mark, not a delta.
-    let _ = writeln!(
-        json,
-        "  \"alloc\": {{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}},",
-        alloc.count.saturating_sub(alloc_base.count),
-        alloc.bytes.saturating_sub(alloc_base.bytes),
-        alloc.peak_bytes
-    );
+    // Heap traffic across the whole benchmark (counting allocator; peak
+    // is the process high-water mark, not a delta), or `null` if the
+    // wrapper is somehow absent.
+    let _ = writeln!(json, "  \"alloc\": {},", telemetry::alloc::delta_json(&alloc_base));
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };

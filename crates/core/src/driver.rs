@@ -23,7 +23,7 @@ use graphrare_gnn::TrainerState;
 
 use crate::config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
 use crate::reward::{PerfSnapshot, RewardKind};
-use crate::rewire::RewiredGraph;
+use crate::rewire::{RewireDelta, RewireError, RewiredGraph};
 use crate::state::TopoState;
 use crate::topology::TopologyOptimizer;
 
@@ -254,6 +254,10 @@ pub struct RareDriver {
     want_auc: bool,
     topo: TopologyOptimizer,
     rewired: RewiredGraph,
+    /// Reused rewire-delta buffer: `step` stays allocation-free on the
+    /// steady-state edge path by writing into this instead of returning
+    /// a fresh delta.
+    delta: RewireDelta,
     model: Box<dyn GnnModel>,
     trainer: Trainer,
     agent: AgentBox,
@@ -455,6 +459,7 @@ impl RareDriver {
             want_auc,
             topo,
             rewired,
+            delta: RewireDelta::default(),
             model,
             trainer,
             agent,
@@ -509,9 +514,22 @@ impl RareDriver {
 
     /// Runs one outer DRL step (Algorithm 1 lines 8–16). Returns `false`
     /// without doing anything once all configured steps have run.
+    ///
+    /// Panicking wrapper around [`try_step`](Self::try_step) for callers
+    /// whose driver state is known-good (a rewire failure here means
+    /// in-process corruption, not bad input).
     pub fn step(&mut self) -> bool {
+        self.try_step().expect("rewire failed on driver-owned state")
+    }
+
+    /// [`step`](Self::step), surfacing rewire-engine failures as a typed
+    /// error instead of panicking. A corrupt or version-skewed restored
+    /// state is the realistic trigger; the driver must then be discarded
+    /// (its graph state may be partially transitioned), but the hosting
+    /// process — e.g. a `graphrare-serve` worker — keeps running.
+    pub fn try_step(&mut self) -> Result<bool, RewireError> {
         if self.is_done() {
-            return false;
+            return Ok(false);
         }
         let t = self.step;
         let iter_clock = telemetry::Stopwatch::start();
@@ -520,7 +538,8 @@ impl RareDriver {
         let features = self.state.features();
         let (actions, logp, value) = self.agent.act(&features);
         self.state.apply(&actions);
-        let delta = self.rewired.apply(&self.topo, &self.state);
+        self.rewired.apply_into(&self.topo, &self.state, &mut self.delta)?;
+        let delta = &self.delta;
         if let Some(engine) = self.engine.as_mut() {
             if !delta.is_empty() {
                 // Mirror the transition into the incremental engine so its
@@ -653,7 +672,7 @@ impl RareDriver {
         {
             self.refresh_sequences();
         }
-        true
+        Ok(true)
     }
 
     /// Refresh boundary: swap in rankings recomputed against the current
@@ -694,7 +713,17 @@ impl RareDriver {
     /// Final convergence phase + report (Algorithm 1's terminal joint
     /// training). Call after the DRL steps; [`RareDriver::step`] tolerates
     /// being exhausted, `finish` consumes the driver.
-    pub fn finish(mut self) -> RareReport {
+    ///
+    /// Panicking wrapper around [`try_finish`](Self::try_finish), matching
+    /// [`step`](Self::step)/[`try_step`](Self::try_step).
+    pub fn finish(self) -> RareReport {
+        self.try_finish().expect("rewire failed on driver-owned state")
+    }
+
+    /// [`finish`](Self::finish), surfacing rewire-engine failures as a
+    /// typed error instead of panicking (the terminal resync replays the
+    /// last state transition through the rewire engine).
+    pub fn try_finish(mut self) -> Result<RareReport, RewireError> {
         // Algorithm 1 trains the GNN and DRL jointly until convergence, but
         // the compressed DRL loop above only fine-tunes the GNN
         // opportunistically (line 12 fires on accuracy improvements). To
@@ -716,7 +745,7 @@ impl RareDriver {
         // often under-rewires because it was judged with a semi-trained model.
         // Resync first: an episodic reset at the end of the last step can
         // postdate the last incremental apply.
-        self.rewired.apply(&self.topo, &self.state);
+        self.rewired.apply_into(&self.topo, &self.state, &mut self.delta)?;
         let final_graph = self.rewired.graph().clone();
         if final_graph.edge_vec() != self.best_graph.edge_vec() {
             candidates.push((final_graph, self.best_params.clone()));
@@ -764,7 +793,7 @@ impl RareDriver {
         drop(self.run_span.take());
         telemetry::flush();
 
-        RareReport {
+        Ok(RareReport {
             backbone: self.model.name(),
             test_acc: test_eval.accuracy,
             best_val_acc: self.best_val,
@@ -774,7 +803,7 @@ impl RareDriver {
             optimized_graph: winner_graph,
             model_params: winner_params,
             telemetry: self.baseline.map(|b| telemetry::snapshot().since(&b)),
-        }
+        })
     }
 
     /// Captures every mutable piece of the loop as plain data. Call
@@ -808,8 +837,12 @@ impl RareDriver {
 
     /// Overwrites the loop state with a snapshot taken over the same
     /// graph, split and config. Every structural property is validated
-    /// before anything is mutated, so a failed restore leaves the driver
-    /// untouched and never panics.
+    /// before anything is mutated, so a failed restore usually leaves the
+    /// driver untouched — and never panics. The one exception is the
+    /// final rewire jump: counters that pass the shape checks but
+    /// contradict this run's sequences are rejected by the rewire engine
+    /// after the loop state was overwritten, so on that error the driver
+    /// must be discarded (the error message says so).
     pub fn restore(&mut self, snap: &DriverSnapshot) -> Result<(), String> {
         if self.cfg.entropy_refresh_every > 0 {
             return Err("snapshot/restore is not supported with entropy_refresh_every > 0 (the \
@@ -899,8 +932,13 @@ impl RareDriver {
         self.window_steps = snap.window_steps as usize;
         self.step = snap.step as usize;
         // Jump the persistent G_t to the restored counters so the next
-        // step's incremental apply starts from the right topology.
-        self.rewired.apply(&self.topo, &self.state);
+        // step's incremental apply starts from the right topology. A
+        // rewire rejection here is a snapshot the structural checks above
+        // could not catch (e.g. counters crafted against other sequences);
+        // it surfaces as a restore failure, not a panic.
+        self.rewired.apply_into(&self.topo, &self.state, &mut self.delta).map_err(|e| {
+            format!("snapshot topology counters rejected by the rewire engine: {e}")
+        })?;
         telemetry::emit_with(|| telemetry::Event::new("driver_restore").u64("step", snap.step));
         Ok(())
     }

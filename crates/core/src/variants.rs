@@ -55,7 +55,7 @@ fn train_on_state(
     // `ablation_path_matches_materialize` below and the equivalence
     // suite).
     let mut rw = RewiredGraph::new(topo);
-    rw.apply(topo, state);
+    rw.apply(topo, state).expect("ablation state was built against this optimizer");
     let g = rw.graph();
     let labels = g.labels().to_vec();
     let model = build_model(backbone, g.feat_dim(), g.num_classes(), &cfg.model);
@@ -194,7 +194,7 @@ mod tests {
             state.set_d(v, rng.gen_range(0..=3));
         }
         let mut rw = RewiredGraph::new(&topo);
-        rw.apply(&topo, &state);
+        rw.apply(&topo, &state).unwrap();
         let old = topo.materialize(&state);
         assert_eq!(rw.graph().edge_vec(), old.edge_vec());
         assert_eq!(rw.homophily_ratio().to_bits(), metrics::homophily_ratio(&old).to_bits());

@@ -76,7 +76,7 @@ fn run_trace(
     rw.tensors().attention();
     for (i, actions) in trace.iter().enumerate() {
         state.apply(actions);
-        rw.apply(topo, &state);
+        rw.apply(topo, &state).unwrap();
         assert_equivalent(&rw, topo, &state);
         if reset_every > 0 && (i + 1) % reset_every == 0 {
             // Episodic reset: the next apply must absorb the jump to S0.
@@ -84,7 +84,7 @@ fn run_trace(
         }
     }
     // Resync after a possibly trailing reset, like the driver's finish().
-    rw.apply(topo, &state);
+    rw.apply(topo, &state).unwrap();
     assert_equivalent(&rw, topo, &state);
 }
 
@@ -207,7 +207,7 @@ fn checkpoint_jumps_match_materialize() {
             state.set_k(v, k);
             state.set_d(v, d);
         }
-        rw.apply(&topo, &state);
+        rw.apply(&topo, &state).unwrap();
         assert_equivalent(&rw, &topo, &state);
     }
 }

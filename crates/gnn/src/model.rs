@@ -28,6 +28,12 @@ pub struct GraphTensors {
     row: OnceCell<Rc<CsrMatrix>>,
     two_hop: OnceCell<Rc<CsrMatrix>>,
     attn: OnceCell<Rc<AdjList>>,
+    /// Reusable scratch for the in-place operator rebuilds and the
+    /// row-patch analysis, so steady-state topology updates allocate
+    /// nothing in the dense regime.
+    op_scratch: ops::OperatorScratch,
+    touched: Vec<usize>,
+    wide: Vec<usize>,
 }
 
 impl GraphTensors {
@@ -41,6 +47,9 @@ impl GraphTensors {
             row: OnceCell::new(),
             two_hop: OnceCell::new(),
             attn: OnceCell::new(),
+            op_scratch: ops::OperatorScratch::default(),
+            touched: Vec::new(),
+            wide: Vec::new(),
         }
     }
 
@@ -141,8 +150,7 @@ impl GraphTensors {
         if edits.len() * 2 > self.graph.num_nodes() {
             self.rebuild_built_operators();
         } else {
-            let pairs: Vec<(usize, usize)> = removed.iter().chain(added).copied().collect();
-            self.patch_operator_rows(&pairs);
+            self.patch_operator_rows(removed.iter().chain(added).copied());
         }
     }
 
@@ -161,8 +169,7 @@ impl GraphTensors {
         if flips.len() * 2 > self.graph.num_nodes() {
             self.rebuild_built_operators();
         } else {
-            let pairs: Vec<(usize, usize)> = flips.iter().map(|&(u, v, _)| (u, v)).collect();
-            self.patch_operator_rows(&pairs);
+            self.patch_operator_rows(flips.iter().map(|&(u, v, _)| (u, v)));
         }
     }
 
@@ -171,23 +178,35 @@ impl GraphTensors {
     /// nodes twice over: the raw edit count bounds the dirty-row sets from
     /// above, so the per-row sort/dedup analysis would be pure overhead —
     /// the dense exploration regime lands here every step.
+    ///
+    /// Each rebuild goes through `Rc::make_mut` + the `*_into` builders:
+    /// at refcount 1 (the steady state — tapes drop their operator
+    /// handles between steps) the cached CSR storage is refilled in place
+    /// with zero allocations, while outstanding snapshot handles still
+    /// trigger a copy-on-write clone first, preserving snapshot
+    /// semantics.
     fn rebuild_built_operators(&mut self) {
         let mut rebuilds = 0u64;
         if let Some(rc) = self.gcn.get_mut() {
             rebuilds += 1;
-            *rc = Rc::new(ops::gcn_norm_with_inv(&self.graph, &self.inv_sqrt));
+            ops::gcn_norm_with_inv_into(
+                &self.graph,
+                &self.inv_sqrt,
+                Rc::make_mut(rc),
+                &mut self.op_scratch,
+            );
         }
         if let Some(rc) = self.two_hop.get_mut() {
             rebuilds += 1;
-            *rc = Rc::new(ops::row_norm_two_hop(&self.graph));
+            ops::row_norm_two_hop_into(&self.graph, Rc::make_mut(rc), &mut self.op_scratch);
         }
         if let Some(rc) = self.row.get_mut() {
             rebuilds += 1;
-            *rc = Rc::new(ops::row_norm_adj(&self.graph));
+            ops::row_norm_adj_into(&self.graph, Rc::make_mut(rc), &mut self.op_scratch);
         }
         if let Some(rc) = self.attn.get_mut() {
             rebuilds += 1;
-            *rc = Rc::new(ops::attention_lists(&self.graph));
+            ops::attention_lists_into(&self.graph, Rc::make_mut(rc));
         }
         graphrare_telemetry::counter("rewire.operator_rebuilds", rebuilds);
     }
@@ -196,36 +215,43 @@ impl GraphTensors {
     /// endpoint pairs are `pairs`. Per operator, a batch still dirtying
     /// more than half the rows rebuilds wholesale instead — bit-identical
     /// either way because the full and per-row builders agree row by row.
-    fn patch_operator_rows(&mut self, pairs: &[(usize, usize)]) {
-        let mut touched: Vec<usize> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
-        touched.sort_unstable();
-        touched.dedup();
+    fn patch_operator_rows(&mut self, pairs: impl Iterator<Item = (usize, usize)>) {
+        self.touched.clear();
+        for (u, v) in pairs {
+            self.touched.push(u);
+            self.touched.push(v);
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
         let mut rows_patched = 0u64;
         let mut rows_inplace = 0u64;
         let mut rows_spliced = 0u64;
         let mut rebuilds = 0u64;
         let need_wide = self.gcn.get().is_some() || self.two_hop.get().is_some();
-        let wide: Vec<usize> = if need_wide {
-            let mut w = Vec::new();
-            for &v in &touched {
-                w.push(v);
-                w.extend(self.graph.neighbor_slice(v).iter().map(|&u| u as usize));
+        self.wide.clear();
+        if need_wide {
+            for &v in &self.touched {
+                self.wide.push(v);
+                self.wide.extend(self.graph.neighbor_slice(v).iter().map(|&u| u as usize));
             }
-            w.sort_unstable();
-            w.dedup();
-            w
-        } else {
-            Vec::new()
-        };
+            self.wide.sort_unstable();
+            self.wide.dedup();
+        }
         let n = self.graph.num_nodes();
-        let dense_wide = wide.len() * 2 > n;
-        let dense_touched = touched.len() * 2 > n;
+        let dense_wide = self.wide.len() * 2 > n;
+        let dense_touched = self.touched.len() * 2 > n;
         if let Some(rc) = self.gcn.get_mut() {
             if dense_wide {
                 rebuilds += 1;
-                *rc = Rc::new(ops::gcn_norm_with_inv(&self.graph, &self.inv_sqrt));
+                ops::gcn_norm_with_inv_into(
+                    &self.graph,
+                    &self.inv_sqrt,
+                    Rc::make_mut(rc),
+                    &mut self.op_scratch,
+                );
             } else {
-                let rows: Vec<(usize, Vec<(usize, f32)>)> = wide
+                let rows: Vec<(usize, Vec<(usize, f32)>)> = self
+                    .wide
                     .iter()
                     .map(|&v| (v, ops::gcn_norm_row_with_inv(&self.graph, &self.inv_sqrt, v)))
                     .collect();
@@ -238,10 +264,13 @@ impl GraphTensors {
         if let Some(rc) = self.two_hop.get_mut() {
             if dense_wide {
                 rebuilds += 1;
-                *rc = Rc::new(ops::row_norm_two_hop(&self.graph));
+                ops::row_norm_two_hop_into(&self.graph, Rc::make_mut(rc), &mut self.op_scratch);
             } else {
-                let rows: Vec<(usize, Vec<(usize, f32)>)> =
-                    wide.iter().map(|&v| (v, ops::row_norm_two_hop_row(&self.graph, v))).collect();
+                let rows: Vec<(usize, Vec<(usize, f32)>)> = self
+                    .wide
+                    .iter()
+                    .map(|&v| (v, ops::row_norm_two_hop_row(&self.graph, v)))
+                    .collect();
                 rows_patched += rows.len() as u64;
                 let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
                 rows_inplace += n_in;
@@ -251,10 +280,13 @@ impl GraphTensors {
         if let Some(rc) = self.row.get_mut() {
             if dense_touched {
                 rebuilds += 1;
-                *rc = Rc::new(ops::row_norm_adj(&self.graph));
+                ops::row_norm_adj_into(&self.graph, Rc::make_mut(rc), &mut self.op_scratch);
             } else {
-                let rows: Vec<(usize, Vec<(usize, f32)>)> =
-                    touched.iter().map(|&v| (v, ops::row_norm_adj_row(&self.graph, v))).collect();
+                let rows: Vec<(usize, Vec<(usize, f32)>)> = self
+                    .touched
+                    .iter()
+                    .map(|&v| (v, ops::row_norm_adj_row(&self.graph, v)))
+                    .collect();
                 rows_patched += rows.len() as u64;
                 let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
                 rows_inplace += n_in;
@@ -264,10 +296,10 @@ impl GraphTensors {
         if let Some(rc) = self.attn.get_mut() {
             if dense_touched {
                 rebuilds += 1;
-                *rc = Rc::new(ops::attention_lists(&self.graph));
+                ops::attention_lists_into(&self.graph, Rc::make_mut(rc));
             } else {
                 let rows: Vec<(usize, Vec<usize>)> =
-                    touched.iter().map(|&v| (v, ops::attention_row(&self.graph, v))).collect();
+                    self.touched.iter().map(|&v| (v, ops::attention_row(&self.graph, v))).collect();
                 rows_patched += rows.len() as u64;
                 let n_in = Rc::make_mut(rc).apply_rows(&rows) as u64;
                 rows_inplace += n_in;

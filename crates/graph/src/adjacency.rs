@@ -43,26 +43,112 @@ pub fn unkey(key: u64) -> (usize, usize) {
     ((key >> 32) as usize, (key & 0xffff_ffff) as usize)
 }
 
+/// Most nodes a [`CsrAdjacency`] can hold: neighbour ids are stored as
+/// `u32`, so node indices must fit that id space.
+pub const MAX_NODES: usize = u32::MAX as usize;
+
+/// Typed constructor error: the requested node count exceeds the `u32`
+/// id space of the CSR layout. Without this bound the `as u32` casts in
+/// the splice paths would silently truncate ids at N ≥ 2³².
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCountOverflow {
+    /// The node count that was requested.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for NodeCountOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node count {} exceeds the CsrAdjacency u32 id space (max {MAX_NODES} nodes)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for NodeCountOverflow {}
+
 /// Compressed-sparse-row adjacency: `offsets[v]..offsets[v + 1]` indexes
 /// the sorted neighbour slice of node `v` inside `targets`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct CsrAdjacency {
     offsets: Vec<usize>,
     targets: Vec<u32>,
+    // Reusable splice scratch: double-buffered output arrays, the
+    // undirected-flip expansion buffer, and the counting-scatter
+    // workspace. Never part of the logical value — excluded from
+    // comparisons, and `clone` hands out a cold copy.
+    spare_offsets: Vec<usize>,
+    spare_targets: Vec<u32>,
+    change_buf: Vec<(u32, u32, bool)>,
+    scatter_starts: Vec<usize>,
+    scatter_buf: Vec<(u32, u32, bool)>,
 }
 
+impl Clone for CsrAdjacency {
+    fn clone(&self) -> Self {
+        Self { offsets: self.offsets.clone(), targets: self.targets.clone(), ..Self::default() }
+    }
+}
+
+impl PartialEq for CsrAdjacency {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.targets == other.targets
+    }
+}
+
+impl Eq for CsrAdjacency {}
+
 impl CsrAdjacency {
+    fn check_node_count(n: usize) -> Result<(), NodeCountOverflow> {
+        if n <= MAX_NODES {
+            Ok(())
+        } else {
+            Err(NodeCountOverflow { requested: n })
+        }
+    }
+
     /// Adjacency of `n` isolated nodes.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds [`MAX_NODES`]; use
+    /// [`try_new`](Self::try_new) to handle that as a typed error.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "CsrAdjacency supports at most 2^32 nodes");
-        Self { offsets: vec![0; n + 1], targets: Vec::new() }
+        match Self::try_new(n) {
+            Ok(adj) => adj,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`new`](Self::new): rejects node counts beyond the `u32`
+    /// id space before allocating anything.
+    pub fn try_new(n: usize) -> Result<Self, NodeCountOverflow> {
+        Self::check_node_count(n)?;
+        Ok(Self { offsets: vec![0; n + 1], ..Self::default() })
     }
 
     /// Builds from an undirected edge list; duplicates, self-loops and
     /// out-of-bounds pairs are dropped. Returns the adjacency and the
     /// number of distinct undirected edges kept.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds [`MAX_NODES`]; use
+    /// [`try_from_edges`](Self::try_from_edges) to handle that as a
+    /// typed error.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> (Self, usize) {
-        assert!(n <= u32::MAX as usize, "CsrAdjacency supports at most 2^32 nodes");
+        match Self::try_from_edges(n, edges) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`from_edges`](Self::from_edges): rejects node counts
+    /// beyond the `u32` id space before allocating anything.
+    pub fn try_from_edges(
+        n: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<(Self, usize), NodeCountOverflow> {
+        Self::check_node_count(n)?;
         let mut keys: Vec<u64> = edges
             .iter()
             .filter(|&&(u, v)| u != v && u < n && v < n)
@@ -98,7 +184,7 @@ impl CsrAdjacency {
         for v in 0..n {
             targets[counts[v]..counts[v + 1]].sort_unstable();
         }
-        (Self { offsets: counts, targets }, num_edges)
+        Ok((Self { offsets: counts, targets, ..Self::default() }, num_edges))
     }
 
     /// Number of nodes.
@@ -153,6 +239,27 @@ impl CsrAdjacency {
         true
     }
 
+    /// Applies a batch of *undirected* edge flips in one splice, reusing
+    /// internal scratch for the direction expansion: each `(u, v, want)`
+    /// flip becomes the two directed half-edge changes
+    /// [`apply_changes`](Self::apply_changes) expects. `added`/`removed`
+    /// count undirected edges. Allocation-free once the scratch has
+    /// warmed up to the batch size.
+    pub fn apply_flips(&mut self, flips: &[(usize, usize, bool)], added: usize, removed: usize) {
+        if flips.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.change_buf);
+        buf.clear();
+        buf.reserve(2 * flips.len());
+        for &(u, v, want) in flips {
+            buf.push((u as u32, v as u32, want));
+            buf.push((v as u32, u as u32, want));
+        }
+        self.apply_changes(&mut buf, 2 * added, 2 * removed);
+        self.change_buf = buf;
+    }
+
     /// Applies a batch of *directed* entry changes in one sorted-merge
     /// splice over the flat arrays.
     ///
@@ -163,7 +270,9 @@ impl CsrAdjacency {
     /// are the directed totals, used to size the new target array.
     ///
     /// Untouched row spans are block-copied; touched rows are merged with
-    /// their change list. Cost is `O(V + E + B log B)`.
+    /// their change list into a double-buffered output array (the old
+    /// arrays become the next splice's buffers, so steady-state batches
+    /// allocate nothing). Cost is `O(V + E + B log B)`.
     pub fn apply_changes(
         &mut self,
         changes: &mut [(u32, u32, bool)],
@@ -180,29 +289,41 @@ impl CsrAdjacency {
         // exploit — so large batches are ordered by a counting scatter
         // over rows plus tiny per-row sorts, `O(V + B + Σ b_r log b_r)`.
         if 4 * changes.len() >= n {
-            let mut starts = vec![0usize; n + 1];
+            let starts = &mut self.scatter_starts;
+            starts.clear();
+            starts.resize(n + 1, 0);
             for &(r, _, _) in changes.iter() {
                 starts[r as usize + 1] += 1;
             }
             for i in 0..n {
                 starts[i + 1] += starts[i];
             }
-            let mut scattered = vec![(0u32, 0u32, false); changes.len()];
-            let mut cursor = starts.clone();
+            let scattered = &mut self.scatter_buf;
+            scattered.clear();
+            scattered.resize(changes.len(), (0, 0, false));
+            // `starts[r]` doubles as the write cursor for row `r`; after
+            // the scatter it has advanced to the row's end, so row
+            // boundaries are still recoverable from the previous row's
+            // end — no cloned cursor array needed.
             for &c in changes.iter() {
-                let slot = &mut cursor[c.0 as usize];
+                let slot = &mut starts[c.0 as usize];
                 scattered[*slot] = c;
                 *slot += 1;
             }
             for r in 0..n {
-                scattered[starts[r]..starts[r + 1]].sort_unstable();
+                let lo = if r == 0 { 0 } else { starts[r - 1] };
+                scattered[lo..starts[r]].sort_unstable();
             }
-            changes.copy_from_slice(&scattered);
+            changes.copy_from_slice(scattered);
         } else {
             changes.sort_unstable();
         }
-        let mut targets = Vec::with_capacity(self.targets.len() + added - removed);
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = std::mem::take(&mut self.spare_targets);
+        let mut offsets = std::mem::take(&mut self.spare_offsets);
+        targets.clear();
+        targets.reserve(self.targets.len() + added - removed);
+        offsets.clear();
+        offsets.reserve(n + 1);
         offsets.push(0);
         let mut i = 0; // cursor into `changes`
         let mut r = 0;
@@ -258,8 +379,8 @@ impl CsrAdjacency {
             offsets.push(targets.len());
             r += 1;
         }
-        self.targets = targets;
-        self.offsets = offsets;
+        self.spare_targets = std::mem::replace(&mut self.targets, targets);
+        self.spare_offsets = std::mem::replace(&mut self.offsets, offsets);
     }
 }
 
@@ -329,5 +450,55 @@ mod tests {
     fn edge_key_roundtrip() {
         assert_eq!(edge_key(7, 3), edge_key(3, 7));
         assert_eq!(unkey(edge_key(3, 7)), (3, 7));
+    }
+
+    #[test]
+    fn apply_flips_matches_directed_changes() {
+        let (mut a, _) = CsrAdjacency::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut b = a.clone();
+        // Twice, so the second batch runs on warm scratch buffers.
+        for flips in [
+            &[(1usize, 2usize, false), (0, 4, true), (1, 3, true)][..],
+            &[(0, 4, false), (2, 4, true)][..],
+        ] {
+            let added = flips.iter().filter(|f| f.2).count();
+            let removed = flips.len() - added;
+            a.apply_flips(flips, added, removed);
+            for &(u, v, want) in flips {
+                if want {
+                    b.insert(u, v);
+                } else {
+                    b.remove(u, v);
+                }
+            }
+            assert_eq!(a, b);
+        }
+        assert_eq!(a.neighbors(4), &[2, 3]);
+    }
+
+    #[test]
+    fn try_new_rejects_node_counts_beyond_u32_ids() {
+        let err = CsrAdjacency::try_new(MAX_NODES + 1).unwrap_err();
+        assert_eq!(err, NodeCountOverflow { requested: MAX_NODES + 1 });
+        assert!(err.to_string().contains("u32 id space"));
+        assert!(CsrAdjacency::try_from_edges(MAX_NODES + 7, &[]).is_err());
+        // In-bounds counts still construct.
+        assert_eq!(CsrAdjacency::try_new(3).unwrap().len(), 3);
+        let (adj, m) = CsrAdjacency::try_from_edges(3, &[(0, 2)]).unwrap();
+        assert_eq!((adj.len(), m), (3, 1));
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_splice_scratch() {
+        let (mut a, _) = CsrAdjacency::from_edges(6, &[(0, 1), (2, 3)]);
+        // Warm the scratch on `a` only; the logical value is unchanged
+        // by a no-op pair of flips.
+        a.apply_flips(&[(4, 5, true)], 1, 0);
+        a.apply_flips(&[(4, 5, false)], 0, 1);
+        let (b, _) = CsrAdjacency::from_edges(6, &[(0, 1), (2, 3)]);
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert!(c.spare_offsets.is_empty() && c.scatter_buf.is_empty());
     }
 }

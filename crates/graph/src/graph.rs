@@ -222,20 +222,19 @@ impl Graph {
             flips.windows(2).all(|w| edge_key(w[0].0, w[0].1) < edge_key(w[1].0, w[1].1)),
             "flips must be distinct and ascending by edge key"
         );
-        let mut changes: Vec<(u32, u32, bool)> = Vec::with_capacity(2 * flips.len());
         let (mut added, mut removed) = (0usize, 0usize);
         for &(u, v, want) in flips {
             debug_assert!(u != v && u < self.adj.len() && v < self.adj.len(), "flip out of bounds");
             debug_assert!(want != self.adj.contains(u, v), "flip {u}-{v} does not change presence");
-            changes.push((u as u32, v as u32, want));
-            changes.push((v as u32, u as u32, want));
             if want {
                 added += 1;
             } else {
                 removed += 1;
             }
         }
-        self.adj.apply_changes(&mut changes, 2 * added, 2 * removed);
+        // Direction expansion happens inside the adjacency on reused
+        // scratch, so steady-state batches allocate nothing here.
+        self.adj.apply_flips(flips, added, removed);
         self.num_edges = self.num_edges + added - removed;
         (added, removed)
     }

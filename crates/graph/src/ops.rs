@@ -9,6 +9,20 @@ use graphrare_tensor::{AdjList, CsrMatrix};
 
 use crate::graph::Graph;
 
+/// Reusable scratch for the `*_into` operator builders. Holding one of
+/// these across topology updates lets the dense-regime operator refresh
+/// rebuild every cached operator without heap allocation once the
+/// buffers have warmed up to the graph's size.
+#[derive(Clone, Debug, Default)]
+pub struct OperatorScratch {
+    /// Per-row `(col, value)` assembly buffer shared by all CSR builders.
+    row: Vec<(usize, f32)>,
+    /// Node marks for the two-hop ring walk (always reset to `false`).
+    seen: Vec<bool>,
+    /// Two-hop ring discovery buffer.
+    ring: Vec<usize>,
+}
+
 /// `d̂_v^{-1/2} = 1/sqrt(deg(v) + 1)` — the per-node factor of the GCN
 /// normalisation. Public so callers that maintain degrees incrementally
 /// (`GraphTensors`) can patch a cached vector instead of re-deriving it.
@@ -53,21 +67,29 @@ pub fn gcn_norm_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// equal [`inv_sqrt_degrees`] of `g`), so row patches reuse the cached
 /// degree factors instead of recomputing one per entry.
 pub fn gcn_norm_row_with_inv(g: &Graph, inv: &[f32], v: usize) -> Vec<(usize, f32)> {
-    let iv = inv[v];
     let mut row = Vec::with_capacity(g.degree(v) + 1);
+    gcn_fill_row_with_inv(g, inv, v, &mut row);
+    row
+}
+
+/// Shared row-assembly body for [`gcn_norm_row_with_inv`],
+/// [`gcn_norm_with_inv`], and [`gcn_norm_with_inv_into`] — one
+/// implementation, so full, row, and in-place builds stay bit-identical.
+#[inline]
+fn gcn_fill_row_with_inv(g: &Graph, inv: &[f32], v: usize, out: &mut Vec<(usize, f32)>) {
+    let iv = inv[v];
     let mut self_placed = false;
     for &u in g.neighbor_slice(v) {
         let u = u as usize;
         if !self_placed && u > v {
-            row.push((v, iv * iv));
+            out.push((v, iv * iv));
             self_placed = true;
         }
-        row.push((u, iv * inv[u]));
+        out.push((u, iv * inv[u]));
     }
     if !self_placed {
-        row.push((v, iv * iv));
+        out.push((v, iv * iv));
     }
-    row
 }
 
 /// Symmetric GCN normalisation `D̂^{-1/2} (A + I) D̂^{-1/2}` with self-loops
@@ -85,23 +107,24 @@ pub fn gcn_norm(g: &Graph) -> CsrMatrix {
 /// [`inv_sqrt_degrees`] of `g`), skipping the from-scratch degree pass —
 /// `GraphTensors` maintains that vector incrementally across edits.
 pub fn gcn_norm_with_inv(g: &Graph, inv: &[f32]) -> CsrMatrix {
+    let mut out = CsrMatrix::empty();
+    gcn_norm_with_inv_into(g, inv, &mut out, &mut OperatorScratch::default());
+    out
+}
+
+/// [`gcn_norm_with_inv`] rebuilt **in place** into `out`, reusing its CSR
+/// storage and the caller's scratch — allocation-free once warmed up.
+pub fn gcn_norm_with_inv_into(
+    g: &Graph,
+    inv: &[f32],
+    out: &mut CsrMatrix,
+    scratch: &mut OperatorScratch,
+) {
     let n = g.num_nodes();
     debug_assert_eq!(inv.len(), n, "inv_sqrt vector length mismatch");
-    CsrMatrix::from_row_builder(n, n, |v, out| {
-        let iv = inv[v];
-        let mut self_placed = false;
-        for &u in g.neighbor_slice(v) {
-            let u = u as usize;
-            if !self_placed && u > v {
-                out.push((v, iv * iv));
-                self_placed = true;
-            }
-            out.push((u, iv * inv[u]));
-        }
-        if !self_placed {
-            out.push((v, iv * iv));
-        }
-    })
+    out.rebuild_from_row_builder(n, n, &mut scratch.row, |v, row| {
+        gcn_fill_row_with_inv(g, inv, v, row);
+    });
 }
 
 /// One row of [`row_norm_adj`], sorted by column (empty for isolated
@@ -119,15 +142,23 @@ pub fn row_norm_adj_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// node), used by GraphSAGE's mean aggregator and by H2GCN's hop operators.
 /// Isolated nodes get an all-zero row.
 pub fn row_norm_adj(g: &Graph) -> CsrMatrix {
+    let mut out = CsrMatrix::empty();
+    row_norm_adj_into(g, &mut out, &mut OperatorScratch::default());
+    out
+}
+
+/// [`row_norm_adj`] rebuilt **in place** into `out`, reusing its CSR
+/// storage and the caller's scratch — allocation-free once warmed up.
+pub fn row_norm_adj_into(g: &Graph, out: &mut CsrMatrix, scratch: &mut OperatorScratch) {
     let n = g.num_nodes();
-    CsrMatrix::from_row_builder(n, n, |v, out| {
+    out.rebuild_from_row_builder(n, n, &mut scratch.row, |v, row| {
         let deg = g.degree(v);
         if deg == 0 {
             return;
         }
         let w = 1.0 / deg as f32;
-        out.extend(g.neighbor_slice(v).iter().map(|&u| (u as usize, w)));
-    })
+        row.extend(g.neighbor_slice(v).iter().map(|&u| (u as usize, w)));
+    });
 }
 
 /// Unnormalised adjacency `A` as a CSR matrix.
@@ -163,10 +194,23 @@ pub fn row_norm_two_hop_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
 /// nodes at distance exactly 2 (neighbours-of-neighbours, excluding `v` and
 /// its one-hop neighbours), row-normalised.
 pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
+    let mut out = CsrMatrix::empty();
+    row_norm_two_hop_into(g, &mut out, &mut OperatorScratch::default());
+    out
+}
+
+/// [`row_norm_two_hop`] rebuilt **in place** into `out`, reusing its CSR
+/// storage and the caller's scratch — allocation-free once warmed up.
+pub fn row_norm_two_hop_into(g: &Graph, out: &mut CsrMatrix, scratch: &mut OperatorScratch) {
     let n = g.num_nodes();
-    let mut seen = vec![false; n];
-    let mut ring: Vec<usize> = Vec::new();
-    CsrMatrix::from_row_builder(n, n, |v, out| {
+    let OperatorScratch { row, seen, ring } = scratch;
+    // Marks are reset to `false` after every row, so a warm buffer only
+    // needs resizing when the node count changed.
+    if seen.len() != n {
+        seen.clear();
+        seen.resize(n, false);
+    }
+    out.rebuild_from_row_builder(n, n, row, |v, out_row| {
         ring.clear();
         seen[v] = true;
         for u in g.neighbors(v) {
@@ -184,17 +228,17 @@ pub fn row_norm_two_hop(g: &Graph) -> CsrMatrix {
             // Discovery order is not sorted; CSR rows must be.
             ring.sort_unstable();
             let w = 1.0 / ring.len() as f32;
-            out.extend(ring.iter().map(|&r| (r, w)));
+            out_row.extend(ring.iter().map(|&r| (r, w)));
         }
         // Reset the scratch marks.
         seen[v] = false;
         for u in g.neighbors(v) {
             seen[u] = false;
         }
-        for &r in &ring {
+        for &r in ring.iter() {
             seen[r] = false;
         }
-    })
+    });
 }
 
 /// Powers-of-adjacency operator `Â^k` built by repeated sparsified
@@ -243,8 +287,18 @@ pub fn attention_row(g: &Graph, v: usize) -> Vec<usize> {
 /// Neighbour lists with self-loops for GAT attention: node `i` attends over
 /// `{i} ∪ N_1(i)`.
 pub fn attention_lists(g: &Graph) -> AdjList {
-    let lists: Vec<Vec<usize>> = (0..g.num_nodes()).map(|v| attention_row(g, v)).collect();
-    AdjList::from_neighbor_lists(&lists)
+    let mut out = AdjList::from_neighbor_lists(&[]);
+    attention_lists_into(g, &mut out);
+    out
+}
+
+/// [`attention_lists`] rebuilt **in place** into `out`, reusing its
+/// offset/target storage — allocation-free once warmed up.
+pub fn attention_lists_into(g: &Graph, out: &mut AdjList) {
+    out.rebuild_from_row_builder(g.num_nodes(), |v, targets| {
+        targets.push(v);
+        targets.extend(g.neighbor_slice(v).iter().map(|&u| u as usize));
+    });
 }
 
 #[cfg(test)]
@@ -345,6 +399,29 @@ mod tests {
         assert_eq!(gcn_norm_with_inv(&g, &inv), gcn_norm(&g));
         for v in 0..g.num_nodes() {
             assert_eq!(gcn_norm_row_with_inv(&g, &inv, v), gcn_norm_row(&g, v), "row {v}");
+        }
+    }
+
+    #[test]
+    fn into_builders_match_fresh_builds_on_warm_buffers() {
+        let a = triangle_plus_tail();
+        // A different topology the warm buffers were first sized for.
+        let b = Graph::from_edges(5, &[(0, 4), (1, 3), (2, 4)], Matrix::zeros(5, 1), vec![0; 5], 1);
+        let mut scratch = OperatorScratch::default();
+        let mut gcn = CsrMatrix::empty();
+        let mut row = CsrMatrix::empty();
+        let mut two = CsrMatrix::empty();
+        let mut attn = AdjList::from_neighbor_lists(&[]);
+        for g in [&b, &a, &b] {
+            let inv = inv_sqrt_degrees(g);
+            gcn_norm_with_inv_into(g, &inv, &mut gcn, &mut scratch);
+            row_norm_adj_into(g, &mut row, &mut scratch);
+            row_norm_two_hop_into(g, &mut two, &mut scratch);
+            attention_lists_into(g, &mut attn);
+            assert_eq!(gcn, gcn_norm(g));
+            assert_eq!(row, row_norm_adj(g));
+            assert_eq!(two, row_norm_two_hop(g));
+            assert_eq!(attn, attention_lists(g));
         }
     }
 

@@ -488,7 +488,14 @@ fn run_one(
             std::thread::sleep(Duration::from_millis(5));
             continue;
         }
-        if !driver.step() {
+        // A rewire rejection (corrupt or version-skewed checkpoint state
+        // slipping past the restore shape checks) is a per-run failure:
+        // the worker reports it and the slot keeps serving other runs,
+        // instead of the old hot-path panic taking the thread down.
+        let stepped = driver
+            .try_step()
+            .map_err(|e| format!("rewire engine rejected the run's topology state: {e}"))?;
+        if !stepped {
             break;
         }
         let done = driver.step_index();
@@ -506,7 +513,9 @@ fn run_one(
         }
     }
 
-    let report = driver.finish();
+    let report = driver
+        .try_finish()
+        .map_err(|e| format!("rewire engine rejected the run's topology state: {e}"))?;
     // The exact CLI `--save-model` path: deterministic bytes, which is
     // what lets the smoke test `cmp` served artifacts against solo runs.
     persist::save_model(&dir.join("result.grrs"), &report)

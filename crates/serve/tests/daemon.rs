@@ -298,6 +298,86 @@ fn shutdown_checkpoints_and_restart_resumes_to_identical_bits() {
 }
 
 #[test]
+fn corrupted_checkpoint_fails_the_run_but_daemon_keeps_serving() {
+    let dir = fixture_dir("corrupt-ckpt");
+    let input = dir.join("toy");
+    io::write_graph(&small_graph(), &input).unwrap();
+    let state = dir.join("state");
+    let run_spec = spec(&input, 21, 10, true);
+
+    // First lifetime: park a paced run at step 6 with a checkpoint, like
+    // the resume test.
+    {
+        let mut cfg = ServeConfig::new(&state);
+        cfg.checkpoint_every = 2;
+        let server = Server::start(cfg, &[]).unwrap();
+        let run_id = submit_ok(&server, run_spec.clone());
+        match server.handle(Request::StepBudget { run_id, steps: 6 }) {
+            Response::BudgetGranted { .. } => {}
+            other => panic!("budget failed: {other:?}"),
+        }
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            match server.handle(Request::Status(run_id)) {
+                Response::RunStatus(info) if info.step == 6 => break,
+                Response::RunStatus(_) => {}
+                other => panic!("status failed: {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "run never reached step 6");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.request_shutdown();
+        server.join();
+    }
+
+    // Corrupt the parked checkpoint's payload between lifetimes.
+    let ckpt = state.join("runs").join("000001").join("step-000006.grrs");
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let (mid, end) = (bytes.len() / 2, (bytes.len() / 2 + 64).min(bytes.len()));
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    // Second lifetime: the resume must surface as a *failed run* — not a
+    // worker panic that leaks the slot for the daemon's lifetime.
+    {
+        let mut cfg = ServeConfig::new(&state);
+        cfg.max_runs = 1; // a leaked slot would deadlock the daemon below
+        let server = Server::start(cfg, &[]).unwrap();
+        // Paced run with no budget grant: it fails in restore before
+        // stepping, so no budget is needed; grant anyway to avoid any
+        // dependence on where the failure lands.
+        match server.handle(Request::StepBudget { run_id: 1, steps: 10 }) {
+            Response::BudgetGranted { .. } => {}
+            other => panic!("budget after restart failed: {other:?}"),
+        }
+        assert_eq!(wait_terminal(&server, 1), RunState::Failed);
+        match server.handle(Request::Status(1)) {
+            Response::RunStatus(info) => {
+                assert!(!info.error.is_empty(), "failed run must carry its error message");
+            }
+            other => panic!("status of failed run: {other:?}"),
+        }
+
+        // The slot is free again: a fresh run on the same daemon goes all
+        // the way to Done.
+        let fresh = submit_ok(&server, spec(&input, 3, 4, false));
+        assert_eq!(wait_terminal(&server, fresh), RunState::Done);
+        match server.handle(Request::ServerStats) {
+            Response::Stats(stats) => {
+                assert!(stats.failed >= 1, "failure must be counted: {stats:?}");
+            }
+            other => panic!("stats failed: {other:?}"),
+        }
+
+        server.request_shutdown();
+        server.join();
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn listen_parse_accepts_and_rejects() {
     assert_eq!(Listen::parse("unix:/tmp/x.sock"), Ok(Listen::Unix(PathBuf::from("/tmp/x.sock"))));
     assert_eq!(Listen::parse("/tmp/x.sock"), Ok(Listen::Unix(PathBuf::from("/tmp/x.sock"))));

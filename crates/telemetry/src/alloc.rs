@@ -131,6 +131,28 @@ pub fn active() -> bool {
     ALLOCS.load(Relaxed) != 0
 }
 
+/// Renders the allocator delta since `base` as a JSON value for the
+/// `"alloc"` key of a `BENCH_*.json` report: an object with
+/// `count`/`bytes`/`peak_bytes` when the counting allocator is live, and
+/// the literal `null` when it was never installed — all-zero counts
+/// would be indistinguishable from a genuinely allocation-free run.
+/// Consumers (`graphrare-trace`, `telemetry_lint`) accept both forms.
+pub fn delta_json(base: &AllocSnapshot) -> String {
+    render_delta_json(active(), &snapshot(), base)
+}
+
+fn render_delta_json(active: bool, now: &AllocSnapshot, base: &AllocSnapshot) -> String {
+    if !active {
+        return "null".to_string();
+    }
+    format!(
+        "{{\"count\": {}, \"bytes\": {}, \"peak_bytes\": {}}}",
+        now.count.saturating_sub(base.count),
+        now.bytes.saturating_sub(base.bytes),
+        now.peak_bytes
+    )
+}
+
 /// Installs [`CountingAlloc`] as the binary's `#[global_allocator]`.
 /// Invoke once, at the crate root of a *binary* (or integration-test)
 /// crate.
@@ -171,5 +193,24 @@ mod tests {
         // Restore the live balance for the rest of the binary.
         on_alloc(1 << 40);
         on_dealloc(8);
+    }
+
+    // Drives the renderer directly (not the globals): whether `active()`
+    // is true here depends on test interleaving with the bookkeeping
+    // test above.
+    #[test]
+    fn delta_json_is_null_without_the_allocator_and_an_object_with_it() {
+        let base = AllocSnapshot { count: 10, bytes: 100, peak_bytes: 50 };
+        let now = AllocSnapshot { count: 25, bytes: 4_196, peak_bytes: 96 };
+        assert_eq!(render_delta_json(false, &now, &base), "null");
+        assert_eq!(
+            render_delta_json(true, &now, &base),
+            "{\"count\": 15, \"bytes\": 4096, \"peak_bytes\": 96}"
+        );
+        // A stale base (counters reset) must not wrap.
+        assert_eq!(
+            render_delta_json(true, &base, &now),
+            "{\"count\": 0, \"bytes\": 0, \"peak_bytes\": 50}"
+        );
     }
 }

@@ -95,16 +95,44 @@ impl CsrMatrix {
     pub fn from_row_builder(
         rows: usize,
         cols: usize,
-        mut build: impl FnMut(usize, &mut Vec<(usize, f32)>),
+        build: impl FnMut(usize, &mut Vec<(usize, f32)>),
     ) -> Self {
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        row_ptr.push(0);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut out = Self::empty();
         let mut scratch: Vec<(usize, f32)> = Vec::new();
+        out.rebuild_from_row_builder(rows, cols, &mut scratch, build);
+        out
+    }
+
+    /// An empty `0 x 0` matrix, the seed for
+    /// [`rebuild_from_row_builder`](CsrMatrix::rebuild_from_row_builder).
+    pub fn empty() -> Self {
+        Self { rows: 0, cols: 0, row_ptr: vec![0], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Rebuilds the whole matrix **in place** from a per-row entry
+    /// builder, reusing the existing CSR storage (and the caller's row
+    /// `scratch`) instead of allocating fresh arrays — once capacities
+    /// have warmed up this performs zero heap allocations, which is what
+    /// the incremental rewiring engine's dense-regime operator refresh
+    /// relies on. The result is identical to
+    /// [`from_row_builder`](CsrMatrix::from_row_builder) with the same
+    /// closure; the same per-row ordering contract applies.
+    pub fn rebuild_from_row_builder(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        scratch: &mut Vec<(usize, f32)>,
+        mut build: impl FnMut(usize, &mut Vec<(usize, f32)>),
+    ) {
+        self.rows = rows;
+        self.cols = cols;
+        self.row_ptr.clear();
+        self.row_ptr.push(0);
+        self.col_idx.clear();
+        self.values.clear();
         for r in 0..rows {
             scratch.clear();
-            build(r, &mut scratch);
+            build(r, scratch);
             debug_assert!(
                 scratch.windows(2).all(|w| w[0].0 < w[1].0),
                 "row {r} entries must be sorted by column and unique"
@@ -112,11 +140,10 @@ impl CsrMatrix {
             if let Some(&(c, _)) = scratch.last() {
                 assert!(c < cols, "column {c} out of bounds for {cols} cols");
             }
-            col_idx.extend(scratch.iter().map(|&(c, _)| c));
-            values.extend(scratch.iter().map(|&(_, v)| v));
-            row_ptr.push(col_idx.len());
+            self.col_idx.extend(scratch.iter().map(|&(c, _)| c));
+            self.values.extend(scratch.iter().map(|&(_, v)| v));
+            self.row_ptr.push(self.col_idx.len());
         }
-        Self { rows, cols, row_ptr, col_idx, values }
     }
 
     /// Builds an identity CSR matrix of order `n`.

@@ -48,6 +48,27 @@ impl AdjList {
         Self { offsets, targets }
     }
 
+    /// Rebuilds the whole list **in place** from a per-node target
+    /// builder, reusing the existing offset/target storage — the
+    /// [`AdjList`] analogue of `CsrMatrix::rebuild_from_row_builder`,
+    /// allocation-free once capacities have warmed up.
+    ///
+    /// The closure receives the node index and the shared `targets`
+    /// buffer and must only *append* that node's neighbours to it.
+    pub fn rebuild_from_row_builder(
+        &mut self,
+        n: usize,
+        mut build: impl FnMut(usize, &mut Vec<usize>),
+    ) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+        for i in 0..n {
+            build(i, &mut self.targets);
+            self.offsets.push(self.targets.len());
+        }
+    }
+
     /// Number of source nodes.
     pub fn len(&self) -> usize {
         self.offsets.len() - 1

@@ -44,6 +44,15 @@ impl DiffReport {
     }
 }
 
+/// Narrows a span set to paths involving `prefix`: a span is kept when
+/// any `/`-separated frame of its path *starts with* the prefix, so
+/// `rewire.` matches `driver.step/rewire.apply/rewire.guard` at every
+/// depth. Used to scope the diff gate to one subsystem's spans without
+/// the surrounding (noisier) driver paths diluting or tripping it.
+pub fn filter_by_prefix(spans: Vec<Span>, prefix: &str) -> Vec<Span> {
+    spans.into_iter().filter(|s| s.path.split('/').any(|f| f.starts_with(prefix))).collect()
+}
+
 fn totals_by_path(spans: &[Span]) -> BTreeMap<String, u64> {
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
     for span in spans {
@@ -161,6 +170,26 @@ mod tests {
         assert_eq!(report.regressions().count(), 1);
         // 20% slower but the gate allows 25%.
         assert!(diff(&base, &slow, 0.25, 0).passed());
+    }
+
+    #[test]
+    fn prefix_filter_matches_frames_at_any_depth() {
+        let spans = vec![
+            span(1, "driver.run/driver.step/rewire.apply", 10),
+            span(2, "driver.run/driver.step/rewire.apply/rewire.guard", 20),
+            span(3, "driver.run/driver.step", 30),
+            span(4, "rewire.entropy_refresh", 40),
+        ];
+        let kept = filter_by_prefix(spans, "rewire.");
+        let paths: Vec<&str> = kept.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "driver.run/driver.step/rewire.apply",
+                "driver.run/driver.step/rewire.apply/rewire.guard",
+                "rewire.entropy_refresh",
+            ]
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod model;
 pub mod percentiles;
 pub mod timeline;
 
-pub use diff::{diff, render_diff, DiffReport, DiffRow};
+pub use diff::{diff, filter_by_prefix, render_diff, DiffReport, DiffRow};
 pub use flame::{folded_stacks, render_folded, root_totals};
 pub use model::{filter_run, parse_spans, parse_spans_file, Span};
 pub use percentiles::{percentile_rows, render_percentiles, PathRow};

@@ -19,13 +19,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use graphrare_trace::{
-    diff, filter_run, folded_stacks, parse_spans_file, percentile_rows, render_diff, render_folded,
-    render_percentiles, render_timeline, Span,
+    diff, filter_by_prefix, filter_run, folded_stacks, parse_spans_file, percentile_rows,
+    render_diff, render_folded, render_percentiles, render_timeline, Span,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: graphrare-trace timeline RUN.jsonl [--run-id N]\n       graphrare-trace flame RUN.jsonl [--out FILE] [--run-id N]\n       graphrare-trace percentiles RUN.jsonl [--run-id N]\n       graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS]"
+        "usage: graphrare-trace timeline RUN.jsonl [--run-id N]\n       graphrare-trace flame RUN.jsonl [--out FILE] [--run-id N]\n       graphrare-trace percentiles RUN.jsonl [--run-id N]\n       graphrare-trace diff BASE.jsonl CAND.jsonl [--max-regress PCT[%]] [--min-total-ns NS] [--path-prefix PFX]"
     );
     ExitCode::from(2)
 }
@@ -98,6 +98,7 @@ fn parse_percent(arg: &str) -> Result<f64, String> {
 fn run_diff(base: &Path, cand: &Path, opts: &[String]) -> Result<ExitCode, String> {
     let mut max_regress = 0.10;
     let mut min_total_ns = 0u64;
+    let mut path_prefix: Option<String> = None;
     let mut i = 0;
     while i < opts.len() {
         let value =
@@ -109,12 +110,23 @@ fn run_diff(base: &Path, cand: &Path, opts: &[String]) -> Result<ExitCode, Strin
                     .parse()
                     .map_err(|_| format!("bad --min-total-ns {:?}", opts[i + 1]))?
             }
+            // Scope the gate to paths with a frame starting with the
+            // prefix (e.g. `rewire.`), at any depth.
+            "--path-prefix" => path_prefix = Some(value(i)?),
             other => return Err(format!("unknown diff option {other}")),
         }
         i += 2;
     }
-    let report =
-        diff(&parse_spans_file(base)?, &parse_spans_file(cand)?, max_regress, min_total_ns);
+    let mut base_spans = parse_spans_file(base)?;
+    let mut cand_spans = parse_spans_file(cand)?;
+    if let Some(prefix) = &path_prefix {
+        base_spans = filter_by_prefix(base_spans, prefix);
+        cand_spans = filter_by_prefix(cand_spans, prefix);
+        if base_spans.is_empty() {
+            return Err(format!("no baseline span path has a frame starting with {prefix:?}"));
+        }
+    }
+    let report = diff(&base_spans, &cand_spans, max_regress, min_total_ns);
     emit(&render_diff(&report))?;
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }

@@ -95,6 +95,24 @@ target/release/graphrare-trace timeline "$smoke_dir/events.jsonl" > /dev/null
 target/release/graphrare-trace diff "$smoke_dir/events.jsonl" "$smoke_dir/events.jsonl" \
     --max-regress 0% > /dev/null
 
+echo "==> rewire perf gate (rewire.* span totals vs committed baseline)"
+# The smoke above is deterministic (fixed fixture, fixed seed), so its
+# rewire.* span totals are comparable to a committed baseline of the
+# same invocation. The threshold is deliberately loose and the noise
+# floor exempts sub-50µs paths: absolute times vary across machines,
+# and the gate only has to catch order-of-magnitude regressions (e.g.
+# reintroducing per-step allocation in the hot loop). Regenerate with:
+#   target/release/telemetry_lint --make-fixture DIR/toy
+#   target/release/graphrare --input DIR/toy --steps 6 --seed 1 --quiet \
+#       --telemetry-out scripts/baselines/rewire_smoke.jsonl
+if ! target/release/graphrare-trace diff scripts/baselines/rewire_smoke.jsonl \
+    "$smoke_dir/events.jsonl" --path-prefix rewire. --max-regress 300% \
+    --min-total-ns 50000 > "$smoke_dir/rewire_gate.txt"; then
+    cat "$smoke_dir/rewire_gate.txt" >&2
+    echo "rewire.* spans regressed past the gate; see table above" >&2
+    exit 1
+fi
+
 echo "==> incremental rewiring smoke (full vs incremental must be bit-identical)"
 cargo build -q --release -p graphrare-bench --bin bench_rewire
 # The binary lock-steps RewiredGraph against materialize + fresh tensors
