@@ -8,12 +8,30 @@
 //! bench_rewire [--quick] [--check-only] [--output BENCH_rewire.json]
 //! ```
 //!
-//! Every run first replays the whole action trace once with *both*
-//! engines in lock-step and asserts bit-identical results (edge sets,
-//! edge counts, homophily bits, `gcn_norm` rows); a mismatch exits
-//! non-zero, which is what `scripts/check.sh` relies on for its smoke.
-//! `--quick` shrinks the graphs for that smoke; `--check-only` skips the
-//! timed passes entirely.
+//! The timed matrix is **strategy × regime** (× graph size): the action
+//! traces come from the real [`Rewirer`](graphrare::Rewirer) strategies
+//! (`ppo`, `dhgr`, `reference`, `none`) driven exactly like the driver
+//! drives them, under two proposal-intensity regimes:
+//!
+//! * `dense` — the strategy's natural proposals (PPO's exploration phase
+//!   moves most counters; heuristics march every node toward its
+//!   target);
+//! * `sparse` — a seeded ~2% per-step node mask on top of the proposals,
+//!   the converged-policy regime where almost every counter holds.
+//!   Incremental rewiring is O(changed nodes), so this is where the
+//!   asymptotic win shows.
+//!
+//! Every cell first replays its whole trace once with *both* engines in
+//! lock-step and asserts bit-identical results (edge sets, edge counts,
+//! homophily bits, `gcn_norm` rows); a mismatch exits non-zero, which is
+//! what `scripts/check.sh` relies on for its smoke. `--quick` shrinks
+//! the graphs for that smoke; `--check-only` skips the timed passes (the
+//! equivalence replays and the arena still run).
+//!
+//! The report ends with a head-to-head **arena**: one end-to-end driver
+//! run per strategy on the same small synthetic heterophilic dataset
+//! (reduced-budget config), recording final validation/test accuracy and
+//! the homophily shift each strategy achieves.
 //!
 //! Graphs are heterophilic by construction (target homophily 0.15, the
 //! regime GraphRARE targets) so deletion prefixes are non-trivial and
@@ -26,13 +44,14 @@ use std::time::Instant;
 use graphrare_telemetry as telemetry;
 
 use graphrare::rewire::{RewireDelta, RewiredGraph};
+use graphrare::rewirer::build_rewirer;
 use graphrare::topology::{EditMode, TopologyOptimizer};
-use graphrare::TopoState;
-use graphrare_datasets::{generate_spec, DatasetSpec};
+use graphrare::{GraphRareConfig, RewirerKind, TopoState};
+use graphrare_datasets::{generate_spec, stratified_split, DatasetSpec};
 use graphrare_entropy::{
     CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
 };
-use graphrare_gnn::GraphTensors;
+use graphrare_gnn::{Backbone, GraphTensors};
 use graphrare_graph::metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,13 +60,26 @@ use rand::{Rng, SeedableRng};
 // allocation count/bytes/peak alongside the timing numbers.
 graphrare_telemetry::install_counting_allocator!();
 
-struct SizeRecord {
+/// Per-node candidate cap for the timed matrix (the reduced-budget
+/// driver configuration's `k_cap`).
+const CAP: usize = 6;
+
+struct CellRecord {
+    strategy: &'static str,
     regime: &'static str,
     n: usize,
     edges: usize,
     steps: usize,
     full_ns_per_step: u128,
     incremental_ns_per_step: u128,
+}
+
+struct ArenaRecord {
+    strategy: &'static str,
+    best_val_acc: f64,
+    test_acc: f64,
+    original_homophily: f64,
+    optimized_homophily: f64,
 }
 
 /// Median total wall time of `runs` full replays of `f`.
@@ -82,12 +114,7 @@ struct Instance {
     trace: Vec<Vec<u8>>,
 }
 
-/// Two per-step action distributions:
-/// * `dense` — every counter draws a uniform action, the exploration
-///   phase of PPO where most of the 2N counters move each step;
-/// * `sparse` — ~2% of the nodes act, the converged-policy regime where
-///   the policy holds almost everywhere. Incremental rewiring is O(changed
-///   nodes), so this is where the asymptotic win shows.
+/// Proposal-intensity regimes over a strategy's trace (see module doc).
 #[derive(Clone, Copy, PartialEq)]
 enum Regime {
     Dense,
@@ -103,7 +130,17 @@ impl Regime {
     }
 }
 
-fn build_instance(n: usize, steps: usize, seed: u64, regime: Regime) -> Instance {
+/// Builds one matrix cell: the optimiser plus the action trace the given
+/// strategy actually proposes against it, mirroring the driver's loop
+/// (propose → apply → feedback) with the regime's node mask applied
+/// between propose and apply.
+fn build_instance(
+    n: usize,
+    steps: usize,
+    seed: u64,
+    kind: RewirerKind,
+    regime: Regime,
+) -> Instance {
     let g = generate_spec(&heterophilic_spec(n), seed);
     let table = RelativeEntropyTable::new(&g, &RelativeEntropyConfig::default());
     let seqs = EntropySequences::build(
@@ -115,26 +152,43 @@ fn build_instance(n: usize, steps: usize, seed: u64, regime: Regime) -> Instance
         },
     );
     let topo = TopologyOptimizer::new(g, seqs, EditMode::Both);
+
+    let mut cfg = GraphRareConfig::fast().with_seed(seed);
+    cfg.rewirer = kind;
+    cfg.k_cap = CAP;
+    // The bench has no GNN split; let every other node count as
+    // training-labelled (only DHGR's label term reads it).
+    let train: Vec<usize> = (0..n).step_by(2).collect();
+    let mut rewirer = build_rewirer(&topo, &cfg, &train);
+
+    let mut state = fresh_state(&topo);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
-    let trace = (0..steps)
-        .map(|_| match regime {
-            Regime::Dense => (0..2 * n).map(|_| rng.gen_range(0..3u8)).collect(),
-            Regime::Sparse => {
-                let mut actions = vec![1u8; 2 * n]; // action 1 = hold
-                for _ in 0..(n / 50).max(1) {
-                    let v = rng.gen_range(0..n);
-                    actions[2 * v] = rng.gen_range(0..3);
-                    actions[2 * v + 1] = rng.gen_range(0..3);
-                }
-                actions
+    let mut trace = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let mut actions = rewirer.propose(&state);
+        if regime == Regime::Sparse {
+            // Keep ~2% of the nodes' proposals, hold everything else.
+            let mut mask = vec![false; n];
+            for _ in 0..(n / 50).max(1) {
+                mask[rng.gen_range(0..n)] = true;
             }
-        })
-        .collect();
+            for v in 0..n {
+                if !mask[v] {
+                    actions[2 * v] = 1;
+                    actions[2 * v + 1] = 1;
+                }
+            }
+        }
+        state.apply(&actions);
+        let window_end = (i + 1) % cfg.update_every == 0;
+        rewirer.feedback(0.01, window_end, false, &state);
+        trace.push(actions);
+    }
     Instance { topo, trace }
 }
 
 fn fresh_state(topo: &TopologyOptimizer) -> TopoState {
-    TopoState::new(topo.k_bounds(6), topo.d_bounds(6))
+    TopoState::new(topo.k_bounds(CAP), topo.d_bounds(CAP))
 }
 
 /// Lock-step replay of both engines; returns an error message on the
@@ -162,6 +216,37 @@ fn verify(inst: &Instance) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// One end-to-end driver run per strategy on the same dataset and seed:
+/// the head-to-head accuracy arena.
+fn run_arena(n: usize) -> Vec<ArenaRecord> {
+    let g = generate_spec(&heterophilic_spec(n), 11);
+    let split = stratified_split(g.labels(), g.num_classes(), 0);
+    let mut records = Vec::new();
+    for kind in RewirerKind::ALL {
+        let mut cfg = GraphRareConfig::fast().with_seed(11);
+        cfg.rewirer = kind;
+        let t = Instant::now();
+        let report = graphrare::run(&g, &split, Backbone::Gcn, &cfg);
+        telemetry::progress!(
+            "arena {:<9} val {:.3} test {:.3} homophily {:.3} -> {:.3}  ({:.2}s)",
+            kind.name(),
+            report.best_val_acc,
+            report.test_acc,
+            report.original_homophily,
+            report.optimized_homophily,
+            t.elapsed().as_secs_f64()
+        );
+        records.push(ArenaRecord {
+            strategy: kind.name(),
+            best_val_acc: report.best_val_acc as f64,
+            test_acc: report.test_acc as f64,
+            original_homophily: report.original_homophily as f64,
+            optimized_homophily: report.optimized_homophily as f64,
+        });
+    }
+    records
 }
 
 fn main() {
@@ -197,109 +282,109 @@ fn main() {
     let counter_base = telemetry::snapshot();
     let alloc_base = telemetry::alloc::snapshot();
 
-    let sizes: &[(usize, Regime)] = if quick {
-        &[(300, Regime::Dense), (300, Regime::Sparse)]
-    } else {
-        &[
-            (500, Regime::Dense),
-            (500, Regime::Sparse),
-            (2_000, Regime::Dense),
-            (2_000, Regime::Sparse),
-            (5_000, Regime::Dense),
-            (5_000, Regime::Sparse),
-        ]
-    };
+    let sizes: &[usize] = if quick { &[300] } else { &[500, 2_000] };
     let steps = if quick { 8 } else { 20 };
     let runs = if quick { 3 } else { 5 };
 
     let mut records = Vec::new();
-    for &(n, regime) in sizes {
-        let inst = build_instance(n, steps, 7, regime);
-        let base_edges = inst.topo.base().num_edges();
-        let regime_name = regime.name();
-        telemetry::progress!(
-            "n={n} edges={base_edges} regime={regime_name}: verifying full-vs-incremental lock-step"
-        );
-        if let Err(e) = verify(&inst) {
-            eprintln!("bench_rewire: equivalence FAILED at n={n} regime={regime_name}: {e}");
-            std::process::exit(1);
-        }
-        if check_only {
-            records.push(SizeRecord {
-                regime: regime_name,
-                n,
-                edges: base_edges,
-                steps,
-                full_ns_per_step: 0,
-                incremental_ns_per_step: 0,
-            });
-            continue;
-        }
-
-        // Reference path: every step rebuilds the graph and its operators
-        // from scratch, exactly what RareDriver::step did before the
-        // incremental engine.
-        let full_total = median_ns(runs, || {
-            let mut state = fresh_state(&inst.topo);
-            for actions in &inst.trace {
-                state.apply(actions);
-                let g = inst.topo.materialize(&state);
-                let t = GraphTensors::new(&g);
-                std::hint::black_box(t.gcn_norm());
-                std::hint::black_box(metrics::homophily_ratio(&g));
-                std::hint::black_box(g.num_edges());
-            }
-        });
-
-        // Incremental path: one persistent engine absorbing per-step
-        // deltas. The engine is rebuilt per run (outside nothing is
-        // reused), so each sample covers the same trace from the same
-        // start state.
-        let pre_inc = telemetry::snapshot();
-        let inc_total = median_ns(runs, || {
-            let mut state = fresh_state(&inst.topo);
-            let mut rw = RewiredGraph::new(&inst.topo);
-            let mut delta = RewireDelta::default();
-            rw.tensors().gcn_norm();
-            for actions in &inst.trace {
-                state.apply(actions);
-                rw.apply_into(&inst.topo, &state, &mut delta)
-                    .expect("bench state was built against this optimizer");
-                std::hint::black_box(rw.tensors().gcn_norm());
-                std::hint::black_box(rw.homophily_ratio());
-                std::hint::black_box(rw.num_edges());
-            }
-        });
-
-        // Where the incremental path spends its time, summed over all
-        // timed replays of this size/regime (the `rewire.apply` total is
-        // the whole engine; the sub-spans partition it).
-        for s in telemetry::snapshot().since(&pre_inc).spans {
-            if s.name.starts_with("rewire.") {
+    for &n in sizes {
+        for kind in RewirerKind::ALL {
+            for regime in [Regime::Dense, Regime::Sparse] {
+                let strategy = kind.name();
+                let regime_name = regime.name();
+                let inst = build_instance(n, steps, 7, kind, regime);
+                let base_edges = inst.topo.base().num_edges();
                 telemetry::progress!(
-                    "    {:<20} count {:>5}  total {:>8.2} ms",
-                    s.name,
-                    s.count,
-                    s.total_ns as f64 / 1e6
+                    "n={n} edges={base_edges} strategy={strategy} regime={regime_name}: verifying full-vs-incremental lock-step"
                 );
+                if let Err(e) = verify(&inst) {
+                    eprintln!(
+                        "bench_rewire: equivalence FAILED at n={n} strategy={strategy} regime={regime_name}: {e}"
+                    );
+                    std::process::exit(1);
+                }
+                if check_only {
+                    records.push(CellRecord {
+                        strategy,
+                        regime: regime_name,
+                        n,
+                        edges: base_edges,
+                        steps,
+                        full_ns_per_step: 0,
+                        incremental_ns_per_step: 0,
+                    });
+                    continue;
+                }
+
+                // Reference path: every step rebuilds the graph and its
+                // operators from scratch, exactly what RareDriver::step
+                // did before the incremental engine.
+                let full_total = median_ns(runs, || {
+                    let mut state = fresh_state(&inst.topo);
+                    for actions in &inst.trace {
+                        state.apply(actions);
+                        let g = inst.topo.materialize(&state);
+                        let t = GraphTensors::new(&g);
+                        std::hint::black_box(t.gcn_norm());
+                        std::hint::black_box(metrics::homophily_ratio(&g));
+                        std::hint::black_box(g.num_edges());
+                    }
+                });
+
+                // Incremental path: one persistent engine absorbing
+                // per-step deltas. The engine is rebuilt per run (outside
+                // nothing is reused), so each sample covers the same
+                // trace from the same start state.
+                let pre_inc = telemetry::snapshot();
+                let inc_total = median_ns(runs, || {
+                    let mut state = fresh_state(&inst.topo);
+                    let mut rw = RewiredGraph::new(&inst.topo);
+                    let mut delta = RewireDelta::default();
+                    rw.tensors().gcn_norm();
+                    for actions in &inst.trace {
+                        state.apply(actions);
+                        rw.apply_into(&inst.topo, &state, &mut delta)
+                            .expect("bench state was built against this optimizer");
+                        std::hint::black_box(rw.tensors().gcn_norm());
+                        std::hint::black_box(rw.homophily_ratio());
+                        std::hint::black_box(rw.num_edges());
+                    }
+                });
+
+                // Where the incremental path spends its time, summed over
+                // all timed replays of this cell (the `rewire.apply`
+                // total is the whole engine; the sub-spans partition it).
+                for s in telemetry::snapshot().since(&pre_inc).spans {
+                    if s.name.starts_with("rewire.") {
+                        telemetry::progress!(
+                            "    {:<20} count {:>5}  total {:>8.2} ms",
+                            s.name,
+                            s.count,
+                            s.total_ns as f64 / 1e6
+                        );
+                    }
+                }
+
+                let full_ns_per_step = full_total / steps as u128;
+                let incremental_ns_per_step = inc_total / steps as u128;
+                let speedup = full_ns_per_step as f64 / incremental_ns_per_step.max(1) as f64;
+                telemetry::progress!(
+                    "n={n:<6} {strategy:<9} {regime_name:<7} full {full_ns_per_step:>12} ns/step   incremental {incremental_ns_per_step:>10} ns/step   speedup {speedup:.1}x"
+                );
+                records.push(CellRecord {
+                    strategy,
+                    regime: regime_name,
+                    n,
+                    edges: base_edges,
+                    steps,
+                    full_ns_per_step,
+                    incremental_ns_per_step,
+                });
             }
         }
-
-        let full_ns_per_step = full_total / steps as u128;
-        let incremental_ns_per_step = inc_total / steps as u128;
-        let speedup = full_ns_per_step as f64 / incremental_ns_per_step.max(1) as f64;
-        telemetry::progress!(
-            "n={n:<6} {regime_name:<7} full {full_ns_per_step:>12} ns/step   incremental {incremental_ns_per_step:>10} ns/step   speedup {speedup:.1}x"
-        );
-        records.push(SizeRecord {
-            regime: regime_name,
-            n,
-            edges: base_edges,
-            steps,
-            full_ns_per_step,
-            incremental_ns_per_step,
-        });
     }
+
+    let arena = run_arena(if quick { 120 } else { 240 });
 
     let counters = telemetry::snapshot().since(&counter_base);
 
@@ -329,8 +414,19 @@ fn main() {
         let speedup = r.full_ns_per_step as f64 / r.incremental_ns_per_step.max(1) as f64;
         let _ = writeln!(
             json,
-            "    {{\"regime\": \"{}\", \"n\": {}, \"base_edges\": {}, \"steps\": {}, \"full_ns_per_step\": {}, \"incremental_ns_per_step\": {}, \"speedup\": {:.2}}}{comma}",
-            r.regime, r.n, r.edges, r.steps, r.full_ns_per_step, r.incremental_ns_per_step, speedup
+            "    {{\"strategy\": \"{}\", \"regime\": \"{}\", \"n\": {}, \"base_edges\": {}, \"steps\": {}, \"full_ns_per_step\": {}, \"incremental_ns_per_step\": {}, \"speedup\": {:.2}}}{comma}",
+            r.strategy, r.regime, r.n, r.edges, r.steps, r.full_ns_per_step,
+            r.incremental_ns_per_step, speedup
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"arena\": [\n");
+    for (i, a) in arena.iter().enumerate() {
+        let comma = if i + 1 < arena.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"strategy\": \"{}\", \"best_val_acc\": {:.6}, \"test_acc\": {:.6}, \"original_homophily\": {:.6}, \"optimized_homophily\": {:.6}}}{comma}",
+            a.strategy, a.best_val_acc, a.test_acc, a.original_homophily, a.optimized_homophily
         );
     }
     json.push_str("  ]\n}\n");

@@ -60,6 +60,7 @@ fn run_spec(input: &str, seed: u64, steps: u64) -> RunSpec {
         algo: graphrare::RlAlgo::Ppo,
         threads: 1,
         paced: false,
+        rewirer: graphrare::RewirerKind::Ppo,
     }
 }
 

@@ -9,11 +9,19 @@
 //! graphrare --input data/mygraph --output out/mygraph-optimized \
 //!           [--backbone gcn|sage|gat|h2gcn] [--lambda 1.0] [--steps 160]
 //!           [--seed 42] [--split-seed 0] [--k-cap 10] [--algo ppo|a2c]
+//!           [--rewirer ppo|dhgr|reference|none]
 //!           [--entropy-refresh-every N]
 //!           [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH]
 //!           [--checkpoint-every N --checkpoint-dir DIR] [--resume]
 //!           [--save-model PATH | --load-model PATH] [--run-id N]
 //! ```
+//!
+//! `--rewirer` selects the strategy that proposes per-step topology
+//! edits: `ppo` (the paper's DRL module, default), `dhgr`
+//! (feature/label-similarity rewiring), `reference` (feature-kNN
+//! reference-graph rewiring) or `none` (train the backbone on the
+//! untouched graph through the same loop). All strategies share the
+//! incremental apply pipeline, so runs stay bit-reproducible.
 //!
 //! `--entropy-refresh-every N` re-ranks the candidate sequences against
 //! the current rewired graph every `N` DRL steps via the incremental
@@ -49,7 +57,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use graphrare::{persist, GraphRareConfig, RareDriver, RareReport, RlAlgo};
+use graphrare::{persist, GraphRareConfig, RareDriver, RareReport, RewirerKind, RlAlgo};
 use graphrare_datasets::{stratified_split, Split};
 use graphrare_gnn::{build_model, evaluate, Backbone, GraphTensors, Trainer};
 use graphrare_graph::{io, metrics, Graph};
@@ -70,6 +78,7 @@ struct Args {
     split_seed: u64,
     k_cap: usize,
     algo: RlAlgo,
+    rewirer: RewirerKind,
     entropy_refresh_every: usize,
     threads: usize,
     quiet: bool,
@@ -88,7 +97,7 @@ fn usage() -> ! {
         "usage: graphrare --input <prefix> [--output <prefix>] \
          [--backbone gcn|sage|gat|h2gcn] [--lambda F] [--steps N] \
          [--seed N] [--split-seed N] [--k-cap N] [--algo ppo|a2c] \
-         [--entropy-refresh-every N] \
+         [--rewirer ppo|dhgr|reference|none] [--entropy-refresh-every N] \
          [--threads N] [--quiet] [--telemetry] [--telemetry-out PATH] \
          [--checkpoint-every N --checkpoint-dir DIR] [--resume] \
          [--save-model PATH | --load-model PATH] [--run-id N]"
@@ -107,6 +116,7 @@ fn parse_args() -> Args {
         split_seed: 0,
         k_cap: 10,
         algo: RlAlgo::Ppo,
+        rewirer: RewirerKind::Ppo,
         entropy_refresh_every: 0,
         threads: 0,
         quiet: false,
@@ -177,6 +187,16 @@ fn parse_args() -> Args {
                     "a2c" => RlAlgo::A2c,
                     other => {
                         eprintln!("unknown algorithm {other}");
+                        usage()
+                    }
+                }
+            }
+            "--rewirer" => {
+                let v = value(&mut i).to_lowercase();
+                args.rewirer = match RewirerKind::parse(&v) {
+                    Some(kind) => kind,
+                    None => {
+                        eprintln!("unknown rewirer {v}");
                         usage()
                     }
                 }
@@ -382,13 +402,15 @@ fn run_main() -> ExitCode {
     cfg.steps = args.steps;
     cfg.k_cap = args.k_cap;
     cfg.algo = args.algo;
+    cfg.rewirer = args.rewirer;
     cfg.entropy_refresh_every = args.entropy_refresh_every;
     cfg.threads = args.threads;
 
     progress!(
-        "running {}-RARE ({:?}, {} DRL steps, lambda {}, k-cap {}) ...",
+        "running {}-RARE ({:?}, rewirer {}, {} DRL steps, lambda {}, k-cap {}) ...",
         args.backbone.name(),
         args.algo,
+        args.rewirer.name(),
         cfg.steps,
         args.lambda,
         args.k_cap

@@ -5,6 +5,7 @@ use graphrare_gnn::{ModelConfig, TrainConfig};
 use graphrare_rl::PpoConfig;
 
 use crate::reward::RewardKind;
+use crate::rewirer::RewirerKind;
 use crate::topology::EditMode;
 
 /// How the per-node candidate rankings are ordered.
@@ -69,6 +70,11 @@ pub struct GraphRareConfig {
     pub policy: PolicyKind,
     /// RL algorithm (PPO per the paper, or A2C).
     pub algo: RlAlgo,
+    /// Which strategy proposes the per-step topology edits: the paper's
+    /// DRL module (default), one of the deterministic heuristic
+    /// baselines, or no rewiring at all (see
+    /// [`RewirerKind`](crate::rewirer::RewirerKind)).
+    pub rewirer: RewirerKind,
     /// Total DRL steps (graph rewiring iterations).
     pub steps: usize,
     /// PPO update cadence, and the "episode" length reported in traces.
@@ -119,6 +125,7 @@ impl Default for GraphRareConfig {
             sequence_mode: SequenceMode::Entropy,
             policy: PolicyKind::Global { hidden: 64 },
             algo: RlAlgo::Ppo,
+            rewirer: RewirerKind::Ppo,
             steps: 160,
             update_every: 10,
             reset_each_episode: false,

@@ -12,18 +12,16 @@ use graphrare_entropy::{EntropySequences, IncrementalEntropy, RelativeEntropyTab
 use graphrare_gnn::metrics::macro_auc;
 use graphrare_gnn::{build_model, evaluate, Backbone, GnnModel, GraphTensors, Trainer};
 use graphrare_graph::{metrics, Graph};
-use graphrare_rl::{
-    A2cAgent, A2cConfig, AgentState, GlobalPolicy, PpoAgent, PpoStats, RolloutBuffer, SharedPolicy,
-    ValueNet,
-};
+use graphrare_rl::{AgentState, PpoStats, RolloutBuffer};
 use graphrare_telemetry as telemetry;
 use graphrare_tensor::Matrix;
 
 use graphrare_gnn::TrainerState;
 
-use crate::config::{GraphRareConfig, PolicyKind, RlAlgo, SequenceMode};
+use crate::config::{GraphRareConfig, SequenceMode};
 use crate::reward::{PerfSnapshot, RewardKind};
 use crate::rewire::{RewireDelta, RewireError, RewiredGraph};
+use crate::rewirer::{build_rewirer, Rewirer};
 use crate::state::TopoState;
 use crate::topology::TopologyOptimizer;
 
@@ -69,105 +67,6 @@ pub struct RareReport {
     pub telemetry: Option<telemetry::Summary>,
 }
 
-enum AgentBox {
-    PpoGlobal(PpoAgent<GlobalPolicy>),
-    PpoShared(PpoAgent<SharedPolicy>),
-    A2cGlobal(A2cAgent<GlobalPolicy>),
-    A2cShared(A2cAgent<SharedPolicy>),
-}
-
-impl AgentBox {
-    fn new(kind: PolicyKind, num_nodes: usize, cfg: &GraphRareConfig) -> Self {
-        let state_dim = 2 * num_nodes;
-        let a2c = A2cConfig { seed: cfg.ppo.seed, ..Default::default() };
-        match (cfg.algo, kind) {
-            (RlAlgo::Ppo, PolicyKind::Global { hidden }) => {
-                let policy = GlobalPolicy::new(state_dim, hidden, 2 * num_nodes, cfg.ppo.seed);
-                let value = ValueNet::new(state_dim, hidden, cfg.ppo.seed.wrapping_add(17));
-                AgentBox::PpoGlobal(PpoAgent::new(policy, value, cfg.ppo))
-            }
-            (RlAlgo::Ppo, PolicyKind::Shared { hidden }) => {
-                let policy = SharedPolicy::new(num_nodes, 2, hidden, cfg.ppo.seed);
-                let value = ValueNet::new(state_dim, hidden, cfg.ppo.seed.wrapping_add(17));
-                AgentBox::PpoShared(PpoAgent::new(policy, value, cfg.ppo))
-            }
-            (RlAlgo::A2c, PolicyKind::Global { hidden }) => {
-                let policy = GlobalPolicy::new(state_dim, hidden, 2 * num_nodes, cfg.ppo.seed);
-                let value = ValueNet::new(state_dim, hidden, cfg.ppo.seed.wrapping_add(17));
-                AgentBox::A2cGlobal(A2cAgent::new(policy, value, a2c))
-            }
-            (RlAlgo::A2c, PolicyKind::Shared { hidden }) => {
-                let policy = SharedPolicy::new(num_nodes, 2, hidden, cfg.ppo.seed);
-                let value = ValueNet::new(state_dim, hidden, cfg.ppo.seed.wrapping_add(17));
-                AgentBox::A2cShared(A2cAgent::new(policy, value, a2c))
-            }
-        }
-    }
-
-    fn act(&mut self, state: &[f32]) -> (Vec<u8>, f32, f32) {
-        match self {
-            AgentBox::PpoGlobal(a) => a.act(state),
-            AgentBox::PpoShared(a) => a.act(state),
-            AgentBox::A2cGlobal(a) => a.act(state),
-            AgentBox::A2cShared(a) => a.act(state),
-        }
-    }
-
-    fn value_of(&self, state: &[f32]) -> f32 {
-        match self {
-            AgentBox::PpoGlobal(a) => a.value_of(state),
-            AgentBox::PpoShared(a) => a.value_of(state),
-            AgentBox::A2cGlobal(a) => a.value_of(state),
-            AgentBox::A2cShared(a) => a.value_of(state),
-        }
-    }
-
-    /// Runs the agent's update; A2C stats are reported through the same
-    /// `PpoStats` shape (approx_kl stays 0 — there is no old policy).
-    fn update(&mut self, buffer: &RolloutBuffer, last_value: f32) -> PpoStats {
-        match self {
-            AgentBox::PpoGlobal(a) => a.update(buffer, last_value),
-            AgentBox::PpoShared(a) => a.update(buffer, last_value),
-            AgentBox::A2cGlobal(a) => {
-                let s = a.update(buffer, last_value);
-                PpoStats {
-                    policy_loss: s.policy_loss,
-                    value_loss: s.value_loss,
-                    entropy: s.entropy,
-                    approx_kl: 0.0,
-                }
-            }
-            AgentBox::A2cShared(a) => {
-                let s = a.update(buffer, last_value);
-                PpoStats {
-                    policy_loss: s.policy_loss,
-                    value_loss: s.value_loss,
-                    entropy: s.entropy,
-                    approx_kl: 0.0,
-                }
-            }
-        }
-    }
-
-    fn export_state(&self) -> AgentState {
-        match self {
-            AgentBox::PpoGlobal(a) => a.export_state(),
-            AgentBox::PpoShared(a) => a.export_state(),
-            AgentBox::A2cGlobal(a) => a.export_state(),
-            AgentBox::A2cShared(a) => a.export_state(),
-        }
-    }
-
-    fn import_state(&mut self, state: &AgentState) {
-        match self {
-            AgentBox::PpoGlobal(a) => a.import_state(state),
-            AgentBox::PpoShared(a) => a.import_state(state),
-            AgentBox::A2cGlobal(a) => a.import_state(state),
-            AgentBox::A2cShared(a) => a.import_state(state),
-        }
-    }
-}
-
 /// Training-set performance snapshot (accuracy, loss and — if the reward
 /// needs it — macro AUC).
 fn perf_snapshot(
@@ -198,7 +97,8 @@ pub struct DriverSnapshot {
     pub step: u64,
     /// GNN trainer: parameters, Adam moments, dropout RNG.
     pub trainer: TrainerState,
-    /// DRL agent: policy/value parameters, Adam moments, sampling RNG.
+    /// Rewirer's learned state (policy/value parameters, Adam moments,
+    /// sampling RNG for the DRL strategy; empty for heuristics).
     pub agent: AgentState,
     /// `TopoState` counters `k_v`.
     pub topo_k: Vec<u16>,
@@ -260,7 +160,9 @@ pub struct RareDriver {
     delta: RewireDelta,
     model: Box<dyn GnnModel>,
     trainer: Trainer,
-    agent: AgentBox,
+    /// The configured edit-proposal strategy (`cfg.rewirer`): the DRL
+    /// agent by default, or one of the deterministic heuristics.
+    rewirer: Box<dyn Rewirer>,
     base_edges: usize,
     warm_params: Vec<Matrix>,
     state: TopoState,
@@ -269,7 +171,6 @@ pub struct RareDriver {
     best_val: f64,
     best_params: Vec<Matrix>,
     best_graph: Graph,
-    buffer: RolloutBuffer,
     traces: RunTraces,
     window_reward: f32,
     window_steps: usize,
@@ -395,6 +296,7 @@ impl RareDriver {
         telemetry::emit_with(|| {
             telemetry::Event::new("run_start")
                 .str("backbone", model.name())
+                .str("rewirer", cfg.rewirer.name())
                 .u64("nodes", graph.num_nodes() as u64)
                 .u64("edges", graph.num_edges() as u64)
                 .f64("homophily", metrics::homophily_ratio(graph))
@@ -433,7 +335,7 @@ impl RareDriver {
         }
         let warm_params = trainer.snapshot();
 
-        let agent = AgentBox::new(cfg.policy, graph.num_nodes(), cfg);
+        let rewirer = build_rewirer(&topo, cfg, &split.train);
 
         // On the resume path these are placeholders: `restore` overwrites
         // every one of them, so the (expensive) evaluations are skipped.
@@ -462,7 +364,7 @@ impl RareDriver {
             delta: RewireDelta::default(),
             model,
             trainer,
-            agent,
+            rewirer,
             base_edges,
             warm_params,
             state,
@@ -471,7 +373,6 @@ impl RareDriver {
             best_val,
             best_params,
             best_graph,
-            buffer: RolloutBuffer::new(),
             traces: RunTraces::default(),
             window_reward: 0.0,
             window_steps: 0,
@@ -534,9 +435,12 @@ impl RareDriver {
         let t = self.step;
         let iter_clock = telemetry::Stopwatch::start();
         let _iter_span = telemetry::span("driver.step");
-        // DRL step: act on S_t, transition to S_{t+1} (Eq. 10), rebuild G.
-        let features = self.state.features();
-        let (actions, logp, value) = self.agent.act(&features);
+        // Proposal step: the configured strategy acts on S_t, the state
+        // transitions to S_{t+1} (Eq. 10), and G is rebuilt incrementally.
+        let actions = {
+            let _span = telemetry::span(self.rewirer.kind().span_name());
+            self.rewirer.propose(&self.state)
+        };
         self.state.apply(&actions);
         self.rewired.apply_into(&self.topo, &self.state, &mut self.delta)?;
         let delta = &self.delta;
@@ -583,14 +487,6 @@ impl RareDriver {
         self.window_reward += reward;
         self.window_steps += 1;
         let window_end = self.window_steps == self.cfg.update_every;
-        self.buffer.push(
-            features,
-            actions,
-            logp,
-            value,
-            reward,
-            window_end && self.cfg.reset_each_episode,
-        );
 
         // Traces + best-checkpoint tracking.
         let val_eval = evaluate(self.model.as_ref(), gt, &self.labels, &self.split.val);
@@ -637,29 +533,30 @@ impl RareDriver {
                 .u64("wall_ns", iter_clock.ns())
         });
 
+        // Feed the realised reward back to the strategy. RL-backed
+        // strategies buffer the transition and run their policy update at
+        // window end (returning its stats); heuristics observe and return
+        // `None`, so no `ppo_update` event or trace entry is recorded.
+        let stats =
+            self.rewirer.feedback(reward, window_end, self.cfg.reset_each_episode, &self.state);
         if window_end {
             let window_mean = self.window_reward / self.cfg.update_every.max(1) as f32;
             self.traces.episode_rewards.push(window_mean);
             self.window_reward = 0.0;
             self.window_steps = 0;
-            let last_value = if self.cfg.reset_each_episode {
-                0.0
-            } else {
-                self.agent.value_of(&self.state.features())
-            };
-            let stats = self.agent.update(&self.buffer, last_value);
-            telemetry::counter("driver.ppo_updates", 1);
-            telemetry::emit_with(|| {
-                telemetry::Event::new("ppo_update")
-                    .u64("step", t as u64)
-                    .f64("policy_loss", stats.policy_loss as f64)
-                    .f64("value_loss", stats.value_loss as f64)
-                    .f64("entropy", stats.entropy as f64)
-                    .f64("approx_kl", stats.approx_kl as f64)
-                    .f64("window_reward", window_mean as f64)
-            });
-            self.traces.ppo_stats.push(stats);
-            self.buffer.clear();
+            if let Some(stats) = stats {
+                telemetry::counter("driver.ppo_updates", 1);
+                telemetry::emit_with(|| {
+                    telemetry::Event::new("ppo_update")
+                        .u64("step", t as u64)
+                        .f64("policy_loss", stats.policy_loss as f64)
+                        .f64("value_loss", stats.value_loss as f64)
+                        .f64("entropy", stats.entropy as f64)
+                        .f64("approx_kl", stats.approx_kl as f64)
+                        .f64("window_reward", window_mean as f64)
+                });
+                self.traces.ppo_stats.push(stats);
+            }
             if self.cfg.reset_each_episode {
                 self.state.reset();
             }
@@ -697,6 +594,9 @@ impl RareDriver {
         self.state =
             TopoState::new(self.topo.k_bounds(self.cfg.k_cap), self.topo.d_bounds(self.cfg.k_cap));
         self.rewired.rebase(&self.topo);
+        // Prefix-based heuristics recompute their targets against the new
+        // rankings; the DRL agent carries its parameters across (no-op).
+        self.rewirer.rebase(&self.topo);
         telemetry::counter("rewire.entropy_refreshes", 1);
         telemetry::emit_with(|| {
             telemetry::Event::new("sequence_refresh")
@@ -812,7 +712,7 @@ impl RareDriver {
         DriverSnapshot {
             step: self.step as u64,
             trainer: self.trainer.export_state(),
-            agent: self.agent.export_state(),
+            agent: self.rewirer.export_agent(),
             topo_k: self.state.k_vec().to_vec(),
             topo_d: self.state.d_vec().to_vec(),
             topo_k_max: self.state.k_max_vec().to_vec(),
@@ -828,7 +728,7 @@ impl RareDriver {
                 .into_iter()
                 .map(|(u, v)| (u as u32, v as u32))
                 .collect(),
-            buffer: self.buffer.clone(),
+            buffer: self.rewirer.export_buffer(),
             traces: self.traces.clone(),
             window_reward: self.window_reward,
             window_steps: self.window_steps as u64,
@@ -876,7 +776,7 @@ impl RareDriver {
         check_param_shapes("warm-up parameters", &snap.warm_params, &cur_trainer)?;
         check_param_shapes("best parameters", &snap.best_params, &cur_trainer)?;
 
-        let cur_agent = self.agent.export_state();
+        let cur_agent = self.rewirer.export_agent();
         check_param_shapes("agent parameters", &snap.agent.params, &cur_agent.params)?;
         check_adam_shapes("agent Adam state", &snap.agent.adam.moments, &cur_agent.params)?;
 
@@ -909,7 +809,8 @@ impl RareDriver {
 
         // All checks passed — mutate.
         self.trainer.import_state(&snap.trainer);
-        self.agent.import_state(&snap.agent);
+        self.rewirer.import_agent(&snap.agent);
+        self.rewirer.import_buffer(&snap.buffer);
         self.state = state;
         self.prev = snap.prev;
         self.max_acc = snap.max_acc;
@@ -926,7 +827,6 @@ impl RareDriver {
             base.labels().to_vec(),
             self.num_classes,
         );
-        self.buffer = snap.buffer.clone();
         self.traces = snap.traces.clone();
         self.window_reward = snap.window_reward;
         self.window_steps = snap.window_steps as usize;
@@ -1006,6 +906,8 @@ pub fn run_with_sequences(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PolicyKind;
+    use crate::rewirer::RewirerKind;
     use graphrare_datasets::{generate_spec, stratified_split, DatasetSpec};
 
     fn heterophilic_fixture() -> (Graph, Split) {
@@ -1239,6 +1141,77 @@ mod tests {
         let b = run(&g, &split, Backbone::Gcn, &cfg);
         assert_reports_identical(&a, &b);
         assert_eq!(a.traces.train_acc.len(), cfg.steps);
+    }
+
+    #[test]
+    fn heuristic_strategies_run_and_resume_bit_identically() {
+        let (g, split) = heterophilic_fixture();
+        for kind in [RewirerKind::Dhgr, RewirerKind::Reference, RewirerKind::None] {
+            let mut cfg = GraphRareConfig::fast().with_seed(37);
+            cfg.rewirer = kind;
+            let uninterrupted = run(&g, &split, Backbone::Gcn, &cfg);
+            assert_eq!(uninterrupted.traces.train_acc.len(), cfg.steps);
+            // Heuristics run no policy update, so no ppo_stats rows.
+            assert!(uninterrupted.traces.ppo_stats.is_empty());
+            // Same reward bookkeeping as the DRL loop.
+            assert_eq!(uninterrupted.traces.episode_rewards.len(), cfg.steps / cfg.update_every);
+
+            let mut first = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+            for _ in 0..3 {
+                assert!(first.step());
+            }
+            let snap = first.snapshot();
+            assert!(snap.agent.params.is_empty(), "{} must export empty agent", kind.name());
+            drop(first);
+            let mut resumed = RareDriver::new_for_resume(&g, &split, Backbone::Gcn, &cfg);
+            resumed.restore(&snap).unwrap();
+            resumed.run_to_end();
+            let report = resumed.finish();
+            assert_reports_identical(&uninterrupted, &report);
+        }
+    }
+
+    #[test]
+    fn none_strategy_leaves_graph_untouched() {
+        let (g, split) = heterophilic_fixture();
+        let mut cfg = GraphRareConfig::fast().with_seed(41);
+        cfg.rewirer = RewirerKind::None;
+        let report = run(&g, &split, Backbone::Gcn, &cfg);
+        assert_eq!(report.optimized_graph.edge_vec(), g.edge_vec());
+        assert_eq!(report.original_homophily, report.optimized_homophily);
+    }
+
+    #[test]
+    fn dhgr_strategy_raises_homophily() {
+        let (g, split) = heterophilic_fixture();
+        let mut cfg = GraphRareConfig::fast().with_seed(43);
+        cfg.rewirer = RewirerKind::Dhgr;
+        cfg.steps = 24;
+        let report = run(&g, &split, Backbone::Gcn, &cfg);
+        if report.optimized_graph.edge_vec() != g.edge_vec() {
+            assert!(
+                report.optimized_homophily >= report.original_homophily - 0.02,
+                "homophily dropped: {} -> {}",
+                report.original_homophily,
+                report.optimized_homophily
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_cross_strategy_snapshot() {
+        let (g, split) = heterophilic_fixture();
+        let cfg = GraphRareConfig::fast().with_seed(47);
+        let mut ppo = RareDriver::new(&g, &split, Backbone::Gcn, &cfg);
+        ppo.step();
+        let snap = ppo.snapshot();
+        let mut cfg2 = cfg;
+        cfg2.rewirer = RewirerKind::Dhgr;
+        let mut heuristic = RareDriver::new_for_resume(&g, &split, Backbone::Gcn, &cfg2);
+        assert!(
+            heuristic.restore(&snap).is_err(),
+            "a DRL snapshot must not restore into a heuristic driver"
+        );
     }
 
     #[test]

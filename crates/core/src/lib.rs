@@ -14,6 +14,9 @@
 //! * [`topology`] — the topology optimisation module (Fig. 4).
 //! * [`rewire`] — incremental rewiring: the persistent `G_t` the driver
 //!   updates in `O(changed)` per step instead of rebuilding.
+//! * [`rewirer`] — pluggable edit-proposal strategies: the paper's DRL
+//!   policy plus deterministic heuristic baselines, all behind one
+//!   [`Rewirer`] trait and one shared apply pipeline.
 //! * [`reward`] — Eq. 11 and the AUC-reward ablation.
 //! * [`config`] — all knobs of a run.
 //! * [`driver`] — Algorithm 1 end-to-end ([`run`]) and stepwise
@@ -45,6 +48,7 @@ pub mod fxmap;
 pub mod persist;
 pub mod reward;
 pub mod rewire;
+pub mod rewirer;
 pub mod state;
 pub mod topology;
 pub mod variants;
@@ -56,6 +60,7 @@ pub use persist::{
 };
 pub use reward::{PerfSnapshot, RewardKind};
 pub use rewire::{RewireDelta, RewiredGraph};
+pub use rewirer::{build_rewirer, Rewirer, RewirerKind};
 pub use state::TopoState;
 pub use topology::{EditMode, TopologyOptimizer};
 pub use variants::{run_fixed_kd, run_plain, run_random_kd, VariantReport};

@@ -2,13 +2,16 @@
 //! reference path (`TopologyOptimizer::materialize` + a fresh
 //! `GraphTensors`) over random graphs, random action traces and all three
 //! edit modes — including traces engineered to trip the deletion pass's
-//! "never isolate an endpoint" guard.
+//! "never isolate an endpoint" guard, and traces proposed by every
+//! first-class [`Rewirer`](graphrare::Rewirer) strategy (the driver's
+//! actual access pattern per `--rewirer` value).
 
 use proptest::prelude::*;
 
 use graphrare::rewire::RewiredGraph;
+use graphrare::rewirer::build_rewirer;
 use graphrare::topology::{EditMode, TopologyOptimizer};
-use graphrare::TopoState;
+use graphrare::{GraphRareConfig, RewirerKind, TopoState};
 use graphrare_entropy::{
     CandidatePool, EntropySequences, RelativeEntropyConfig, RelativeEntropyTable, SequenceConfig,
 };
@@ -178,6 +181,83 @@ fn dense_traces_match_materialize() {
             })
             .collect();
         run_trace(&topo, state, &trace, reset_every);
+    }
+}
+
+/// Records the action trace one strategy actually proposes against `topo`,
+/// mirroring the driver's loop (propose → apply → feedback, episodic reset
+/// at window ends). The recorded vectors are then replayed through
+/// [`run_trace`], which checks the bit-identity contract after every
+/// transition — so each strategy is validated on the exact edit patterns
+/// it emits, not just on random vectors.
+fn strategy_trace(
+    topo: &TopologyOptimizer,
+    cfg: &GraphRareConfig,
+    kind: RewirerKind,
+    mut state: TopoState,
+    steps: usize,
+    reset_every: usize,
+) -> Vec<Vec<u8>> {
+    let mut c = *cfg;
+    c.rewirer = kind;
+    // Every other node "training-labelled", like a transductive split.
+    let train: Vec<usize> = (0..topo.base().num_nodes()).step_by(2).collect();
+    let mut rw = build_rewirer(topo, &c, &train);
+    let mut trace = Vec::new();
+    for i in 0..steps {
+        let actions = rw.propose(&state);
+        state.apply(&actions);
+        let window_end = reset_every > 0 && (i + 1) % reset_every == 0;
+        rw.feedback(0.05, window_end, reset_every > 0, &state);
+        if window_end {
+            state.reset();
+        }
+        trace.push(actions);
+    }
+    trace
+}
+
+/// Every `--rewirer` strategy's own proposals replay bit-identically,
+/// with and without episodic resets, under the driver's default bounds.
+#[test]
+fn strategy_proposed_traces_match_materialize() {
+    let n = 18;
+    let edges = dense_edges(n);
+    let cfg = GraphRareConfig::fast().with_seed(11);
+    for kind in RewirerKind::ALL {
+        for reset_every in [0usize, 3] {
+            let topo = optimizer(n, &edges, EditMode::Both);
+            let state = TopoState::new(topo.k_bounds(cfg.k_cap), topo.d_bounds(cfg.k_cap));
+            let trace = strategy_trace(&topo, &cfg, kind, state.clone(), 9, reset_every);
+            run_trace(&topo, state, &trace, reset_every);
+        }
+    }
+}
+
+/// Guard-cascade variant of the strategy harness: a sparse graph with
+/// `d` bounds covering every neighbour, so strategy-proposed deletion
+/// prefixes routinely threaten to isolate degree-1 endpoints and force
+/// the sequential-guard re-simulation on both the incremental and the
+/// reference path.
+#[test]
+fn strategy_traces_survive_guard_cascades() {
+    let n = 14;
+    // A ring plus a few chords and two pendant nodes: plenty of degree-1
+    // and degree-2 endpoints for deletions to threaten.
+    let mut edges: Vec<(usize, usize)> = (0..n - 2).map(|v| (v, (v + 1) % (n - 2))).collect();
+    edges.extend([(0, 5), (2, 8), (n - 2, 3), (n - 1, 7)]);
+    let mut cfg = GraphRareConfig::fast().with_seed(23);
+    cfg.k_cap = 64; // heuristic targets may reach deep into the rankings
+    for kind in RewirerKind::ALL {
+        for reset_every in [0usize, 4] {
+            let topo = optimizer(n, &edges, EditMode::Both);
+            let base = topo.base();
+            let k_max = topo.k_bounds(cfg.k_cap);
+            let d_max: Vec<u16> = (0..n).map(|v| base.degree(v) as u16).collect();
+            let state = TopoState::new(k_max, d_max);
+            let trace = strategy_trace(&topo, &cfg, kind, state.clone(), 10, reset_every);
+            run_trace(&topo, state, &trace, reset_every);
+        }
     }
 }
 

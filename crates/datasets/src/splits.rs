@@ -5,8 +5,47 @@
 //! this module reproduces the *procedure*: per-class stratified 60/20/20
 //! splits drawn from a seeded RNG, ten per dataset.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Why a split could not be drawn from the given labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SplitError {
+    /// `num_classes` was zero while labels were provided: every label
+    /// would be out of range, and the "split" would be silently empty.
+    NoClasses {
+        /// Number of labels that were provided.
+        num_labels: usize,
+    },
+    /// A label was `>= num_classes` (this used to be an
+    /// index-out-of-bounds panic deep inside the bucketing loop).
+    LabelOutOfRange {
+        /// Index of the offending node.
+        node: usize,
+        /// The out-of-range label value.
+        label: usize,
+        /// The declared number of classes.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::NoClasses { num_labels } => {
+                write!(f, "cannot stratify {num_labels} labels over zero classes")
+            }
+            SplitError::LabelOutOfRange { node, label, num_classes } => write!(
+                f,
+                "node {node} has label {label}, outside the declared {num_classes} classes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
 
 /// One train/validation/test partition of node indices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,7 +75,33 @@ impl Split {
 /// Within every class the nodes are shuffled and divided 60/20/20 (train
 /// gets the rounding remainder, matching the Geom-GCN splits which keep
 /// train largest).
+///
+/// # Panics
+/// Panics with the [`SplitError`] message when the labels are
+/// inconsistent with `num_classes`; use [`try_stratified_split`] to
+/// handle malformed inputs (e.g. user-supplied datasets) gracefully.
 pub fn stratified_split(labels: &[usize], num_classes: usize, seed: u64) -> Split {
+    match try_stratified_split(labels, num_classes, seed) {
+        Ok(split) => split,
+        Err(e) => panic!("stratified_split: {e}"),
+    }
+}
+
+/// [`stratified_split`], returning a typed error instead of panicking on
+/// inconsistent inputs: a label `>= num_classes` (previously an
+/// index-out-of-bounds panic) or `num_classes == 0` with labels present
+/// (previously a silently empty split).
+pub fn try_stratified_split(
+    labels: &[usize],
+    num_classes: usize,
+    seed: u64,
+) -> Result<Split, SplitError> {
+    if num_classes == 0 && !labels.is_empty() {
+        return Err(SplitError::NoClasses { num_labels: labels.len() });
+    }
+    if let Some((node, &label)) = labels.iter().enumerate().find(|&(_, &l)| l >= num_classes) {
+        return Err(SplitError::LabelOutOfRange { node, label, num_classes });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
     for (i, &l) in labels.iter().enumerate() {
@@ -60,7 +125,7 @@ pub fn stratified_split(labels: &[usize], num_classes: usize, seed: u64) -> Spli
     split.train.sort_unstable();
     split.val.sort_unstable();
     split.test.sort_unstable();
-    split
+    Ok(split)
 }
 
 /// The paper's protocol: ten stratified splits with distinct seeds derived
@@ -124,6 +189,37 @@ mod tests {
         let l = labels();
         assert_eq!(stratified_split(&l, 4, 9), stratified_split(&l, 4, 9));
         assert_ne!(stratified_split(&l, 4, 9), stratified_split(&l, 4, 10));
+    }
+
+    #[test]
+    fn label_out_of_range_is_a_typed_error() {
+        // `labels[2] == 5` with 4 declared classes used to panic with a
+        // bare index-out-of-bounds inside the bucketing loop.
+        let l = vec![0usize, 1, 5, 2];
+        let err = try_stratified_split(&l, 4, 0).unwrap_err();
+        assert_eq!(err, SplitError::LabelOutOfRange { node: 2, label: 5, num_classes: 4 });
+        assert!(err.to_string().contains("label 5"));
+    }
+
+    #[test]
+    fn zero_classes_with_labels_is_a_typed_error() {
+        // Previously this silently produced an empty split.
+        let err = try_stratified_split(&[0, 0, 0], 0, 0).unwrap_err();
+        assert_eq!(err, SplitError::NoClasses { num_labels: 3 });
+        // No labels over no classes is a degenerate-but-consistent input.
+        assert!(try_stratified_split(&[], 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared 2 classes")]
+    fn panicking_wrapper_carries_the_error_message() {
+        let _ = stratified_split(&[0, 3], 2, 0);
+    }
+
+    #[test]
+    fn try_split_matches_panicking_split_on_valid_input() {
+        let l = labels();
+        assert_eq!(try_stratified_split(&l, 4, 6).unwrap(), stratified_split(&l, 4, 6));
     }
 
     #[test]

@@ -142,15 +142,7 @@ impl<P: Policy> PpoAgent<P> {
             let row = &logits[h * ACTION_ARITY..(h + 1) * ACTION_ARITY];
             softmax3(row, &mut probs);
             let x: f32 = self.rng.gen();
-            let mut acc = 0.0;
-            let mut chosen = ACTION_ARITY - 1;
-            for (a, &p) in probs.iter().enumerate() {
-                acc += p;
-                if x < acc {
-                    chosen = a;
-                    break;
-                }
-            }
+            let chosen = sample_head(&probs, x);
             actions.push(chosen as u8);
             log_prob += probs[chosen].max(1e-12).ln();
         }
@@ -285,6 +277,28 @@ fn greedy_head(row: &[f32]) -> u8 {
     row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i as u8).unwrap_or(1)
 }
 
+/// Inverse-CDF sample over one head's softmax probabilities.
+///
+/// Floating-point rounding can leave the cumulative sum a few ULPs below
+/// 1.0; a uniform draw landing in that gap falls through the loop without
+/// selecting anything. This used to silently default to the *last* index
+/// — an action whose probability can be ~0, with the `.max(1e-12)`
+/// log-prob clamp hiding the impossible sample. The fall-through now
+/// resolves to the highest-probability action (`total_cmp`: a NaN row
+/// still yields a deterministic pick), so every sampled action has
+/// nonzero probability.
+#[inline]
+fn sample_head(probs: &[f32; ACTION_ARITY], x: f32) -> usize {
+    let mut acc = 0.0;
+    for (a, &p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return a;
+        }
+    }
+    probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(1)
+}
+
 #[inline]
 fn softmax3(logits: &[f32], out: &mut [f32; ACTION_ARITY]) {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -337,6 +351,39 @@ mod tests {
         assert_eq!(greedy_head(&[0.5, f32::NAN, -0.5]), 1);
         assert_eq!(greedy_head(&[f32::NAN, f32::NAN, f32::NAN]), 2); // last wins ties
         assert_eq!(greedy_head(&[1.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn sampling_fall_through_picks_most_probable_action() {
+        // A near-degenerate softmax whose cumulative sum rounds below the
+        // largest f32 the RNG can draw (0.99999994): the inverse-CDF loop
+        // falls through. The old code then silently picked the last head
+        // index — here an action with *zero* probability; the fall-through
+        // must resolve to the most probable action instead.
+        let probs = [0.5f32, 0.499_999_9, 0.0];
+        let x = 0.999_999_94f32; // largest value `rng.gen::<f32>()` yields
+        assert!(x >= probs.iter().sum(), "fixture no longer exercises the fall-through");
+        let chosen = sample_head(&probs, x);
+        assert_eq!(chosen, 0, "fall-through must pick the argmax, not the last index");
+        assert!(probs[chosen] > 0.0);
+    }
+
+    #[test]
+    fn sampled_actions_always_have_nonzero_probability() {
+        // Sweep a degenerate distribution (one head hogging all mass, one
+        // at exactly zero) over the RNG's whole draw range: no draw may
+        // ever select the zero-probability action.
+        let probs = [0.999_999_9f32, 9.0e-8, 0.0];
+        for i in 0..=10_000u32 {
+            let x = (i as f32 / 10_000.0) * 0.999_999_94;
+            let chosen = sample_head(&probs, x);
+            assert!(probs[chosen] > 0.0, "draw x={x} selected impossible action {chosen}");
+        }
+        // In-distribution draws are untouched by the fix.
+        let uniform = [0.25f32, 0.5, 0.25];
+        assert_eq!(sample_head(&uniform, 0.0), 0);
+        assert_eq!(sample_head(&uniform, 0.3), 1);
+        assert_eq!(sample_head(&uniform, 0.8), 2);
     }
 
     /// A contextual bandit: reward 1 for picking action 2 on every head,

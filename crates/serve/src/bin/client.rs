@@ -7,6 +7,7 @@
 //!   submit --input PREFIX [--backbone gcn|sage|gat|h2gcn|mlp]
 //!          [--lambda F] [--steps N] [--seed N] [--split-seed N]
 //!          [--k-cap N] [--algo ppo|a2c] [--threads N] [--paced]
+//!          [--rewirer ppo|dhgr|reference|none]
 //!   status   RUN_ID
 //!   watch    RUN_ID            poll until the run reaches a terminal state
 //!   result   RUN_ID --out PATH write the model artifact bytes to PATH
@@ -25,7 +26,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use graphrare::RlAlgo;
+use graphrare::{RewirerKind, RlAlgo};
 use graphrare_gnn::Backbone;
 use graphrare_serve::{Connection, Listen, Request, Response, RunInfo, RunSpec, RunState};
 
@@ -81,6 +82,7 @@ fn parse_spec(args: &[String]) -> Result<RunSpec, String> {
         algo: RlAlgo::Ppo,
         threads: 0,
         paced: false,
+        rewirer: RewirerKind::Ppo,
     };
     let mut i = 0;
     while i < args.len() {
@@ -112,6 +114,11 @@ fn parse_spec(args: &[String]) -> Result<RunSpec, String> {
                     "a2c" => RlAlgo::A2c,
                     other => return Err(format!("unknown algorithm {other}")),
                 }
+            }
+            "--rewirer" => {
+                let v = value(&mut i)?.to_lowercase();
+                spec.rewirer =
+                    RewirerKind::parse(&v).ok_or_else(|| format!("unknown rewirer {v}"))?;
             }
             "--paced" => spec.paced = true,
             other => return Err(format!("unknown submit flag {other}")),

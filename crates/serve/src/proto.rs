@@ -20,7 +20,7 @@
 
 use std::io::{Read, Write};
 
-use graphrare::RlAlgo;
+use graphrare::{RewirerKind, RlAlgo};
 use graphrare_gnn::Backbone;
 use graphrare_store::crc32;
 use graphrare_store::wire::{ByteReader, ByteWriter};
@@ -28,8 +28,11 @@ use graphrare_store::wire::{ByteReader, ByteWriter};
 /// Frame magic: `b"GRSV"` as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"GRSV");
 
-/// Protocol version carried by every frame.
-pub const PROTO_VERSION: u16 = 1;
+/// Protocol version carried by every frame. Version 2 added the
+/// `rewirer` field to [`RunSpec`]; frames from version-1 peers are
+/// rejected with [`ProtoError::BadVersion`] (daemon and client ship in
+/// the same build, so there is no mixed-version window to bridge).
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; a corrupted or hostile length
 /// prefix can never trigger a larger allocation.
@@ -233,6 +236,8 @@ pub struct RunSpec {
     /// Paced mode: the run only advances while it has step budget
     /// granted via [`Request::StepBudget`].
     pub paced: bool,
+    /// Edit-proposal strategy (the CLI's `--rewirer`).
+    pub rewirer: RewirerKind,
 }
 
 impl RunSpec {
@@ -245,6 +250,7 @@ impl RunSpec {
         cfg.steps = self.steps as usize;
         cfg.k_cap = self.k_cap as usize;
         cfg.algo = self.algo;
+        cfg.rewirer = self.rewirer;
         cfg.threads = self.threads as usize;
         cfg
     }
@@ -319,6 +325,7 @@ pub fn encode_spec(spec: &RunSpec, w: &mut ByteWriter) {
     w.put_u16(u16::from(algo_tag(spec.algo)));
     w.put_u64(spec.threads);
     w.put_u16(u16::from(spec.paced));
+    w.put_u16(spec.rewirer.tag());
 }
 
 /// Decodes a [`RunSpec`] payload body.
@@ -333,7 +340,22 @@ pub fn decode_spec(r: &mut ByteReader<'_>) -> Result<RunSpec, ProtoError> {
     let algo = algo_from_tag(narrow_u8(r.get_u16()?, "algo tag")?)?;
     let threads = r.get_u64()?;
     let paced = decode_bool(r.get_u16()?, "paced flag")?;
-    Ok(RunSpec { input, backbone, steps, seed, split_seed, k_cap, lambda, algo, threads, paced })
+    let rewirer_tag = r.get_u16()?;
+    let rewirer = RewirerKind::from_tag(rewirer_tag)
+        .ok_or_else(|| ProtoError::Corrupt(format!("unknown rewirer tag {rewirer_tag}")))?;
+    Ok(RunSpec {
+        input,
+        backbone,
+        steps,
+        seed,
+        split_seed,
+        k_cap,
+        lambda,
+        algo,
+        threads,
+        paced,
+        rewirer,
+    })
 }
 
 fn narrow_u8(v: u16, what: &str) -> Result<u8, ProtoError> {
@@ -811,6 +833,7 @@ mod tests {
             algo: RlAlgo::A2c,
             threads: 1,
             paced: true,
+            rewirer: RewirerKind::Dhgr,
         }
     }
 
@@ -934,10 +957,24 @@ mod tests {
         expected.steps = spec.steps as usize;
         expected.k_cap = spec.k_cap as usize;
         expected.algo = spec.algo;
+        expected.rewirer = spec.rewirer;
         expected.threads = spec.threads as usize;
         assert_eq!(cfg.steps, expected.steps);
         assert_eq!(cfg.seed, expected.seed);
         assert_eq!(cfg.entropy.lambda, expected.entropy.lambda);
+        assert_eq!(cfg.rewirer, RewirerKind::Dhgr, "spec rewirer must reach the config");
         assert_eq!(cfg.entropy_refresh_every, 0, "refresh mode must stay off under serving");
+    }
+
+    #[test]
+    fn spec_rejects_unknown_rewirer_tag() {
+        let mut w = ByteWriter::new();
+        encode_spec(&sample_spec(), &mut w);
+        let mut bytes = w.into_bytes();
+        // The rewirer tag is the trailing u16 of the spec body.
+        let at = bytes.len() - 2;
+        bytes[at..].copy_from_slice(&99u16.to_le_bytes());
+        let mut r = ByteReader::new(&bytes, "spec");
+        assert!(matches!(decode_spec(&mut r), Err(ProtoError::Corrupt(_))));
     }
 }

@@ -8,7 +8,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use graphrare::{persist, RlAlgo};
+use graphrare::{persist, RewirerKind, RlAlgo};
 use graphrare_datasets::{generate_spec, stratified_split, DatasetSpec};
 use graphrare_gnn::Backbone;
 use graphrare_graph::io;
@@ -52,6 +52,7 @@ fn spec(input: &Path, seed: u64, steps: u64, paced: bool) -> RunSpec {
         algo: RlAlgo::Ppo,
         threads: 1,
         paced,
+        rewirer: RewirerKind::Ppo,
     }
 }
 

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use graphrare::RlAlgo;
+use graphrare::{RewirerKind, RlAlgo};
 use graphrare_gnn::Backbone;
 use graphrare_serve::proto::{
     read_frame, write_request, FrameRead, ProtoError, Request, Response, RunSpec, HEADER_LEN,
@@ -28,6 +28,7 @@ fn sample_frame() -> Vec<u8> {
         algo: RlAlgo::Ppo,
         threads: 1,
         paced: false,
+        rewirer: RewirerKind::Ppo,
     };
     let mut frame = Vec::new();
     write_request(&mut frame, &Request::SubmitRun(spec)).unwrap();

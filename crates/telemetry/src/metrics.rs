@@ -137,13 +137,26 @@ impl Reservoir {
 }
 
 /// Nearest-rank percentile of a scratch slice (sorted in place).
+///
+/// For several quantiles over the same samples, sort once and query
+/// [`percentile_of_sorted`] repeatedly instead — this entry point
+/// re-sorts on every call.
 pub fn percentile_of(samples: &mut [u64], q: f64) -> u64 {
-    if samples.is_empty() {
+    samples.sort_unstable();
+    percentile_of_sorted(samples, q)
+}
+
+/// Nearest-rank percentile (`q` in 0..=100) of an already **ascending**
+/// slice: rank `⌈q/100·n⌉` clamped into `1..=n`, so `q = 0` reads the
+/// minimum and `q = 100` the maximum; 0 when empty. Callers needing
+/// several quantiles sort once and query this repeatedly.
+pub fn percentile_of_sorted(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(sorted.is_sorted(), "percentile_of_sorted needs ascending samples");
+    if sorted.is_empty() {
         return 0;
     }
-    samples.sort_unstable();
-    let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize;
-    samples[rank.clamp(1, samples.len()) - 1]
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Aggregated statistics of one named span.
@@ -306,7 +319,7 @@ impl MetricsStore {
                 .map(|(k, v)| {
                     let mut scratch = v.reservoir.samples().to_vec();
                     scratch.sort_unstable();
-                    let mut pick = |q: f64| percentile_of(&mut scratch, q);
+                    let pick = |q: f64| percentile_of_sorted(&scratch, q);
                     PathSummary {
                         path: k.clone(),
                         count: v.count,
@@ -680,7 +693,46 @@ mod tests {
     #[test]
     fn percentile_of_empty_is_zero() {
         assert_eq!(percentile_of(&mut [], 50.0), 0);
+        assert_eq!(percentile_of_sorted(&[], 50.0), 0);
         assert_eq!(Reservoir::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn nearest_rank_is_pinned_at_small_counts() {
+        // Nearest-rank: element at ceil(q/100 * n), clamped to 1..=n.
+        // n = 1: every quantile is the single sample.
+        for q in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile_of_sorted(&[7], q), 7, "n=1 q={q}");
+        }
+        // n = 2: p50 -> first (rank ceil(1.0) = 1), anything above -> second.
+        assert_eq!(percentile_of_sorted(&[10, 20], 0.0), 10);
+        assert_eq!(percentile_of_sorted(&[10, 20], 50.0), 10);
+        assert_eq!(percentile_of_sorted(&[10, 20], 50.1), 20);
+        assert_eq!(percentile_of_sorted(&[10, 20], 90.0), 20);
+        assert_eq!(percentile_of_sorted(&[10, 20], 99.0), 20);
+        assert_eq!(percentile_of_sorted(&[10, 20], 100.0), 20);
+        // n = 3: rank boundaries at 33.3% and 66.6%.
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 0.0), 1);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 33.0), 1);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 34.0), 2);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 50.0), 2);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 66.0), 2);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 67.0), 3);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 90.0), 3);
+        assert_eq!(percentile_of_sorted(&[1, 2, 3], 99.0), 3);
+    }
+
+    #[test]
+    fn percentile_of_sorts_then_matches_sorted_variant() {
+        let mut unsorted = [90u64, 10, 50, 70, 30];
+        let sorted = [10u64, 30, 50, 70, 90];
+        for q in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let mut scratch = unsorted;
+            assert_eq!(percentile_of(&mut scratch, q), percentile_of_sorted(&sorted, q), "q={q}");
+        }
+        // The in-place sort is part of the contract.
+        percentile_of(&mut unsorted, 50.0);
+        assert_eq!(unsorted, sorted);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use graphrare_telemetry::metrics::percentile_of;
+use graphrare_telemetry::metrics::percentile_of_sorted;
 
 use crate::model::Span;
 
@@ -41,14 +41,16 @@ pub fn percentile_rows(spans: &[Span]) -> Vec<PathRow> {
         .into_iter()
         .map(|(path, (mut durations, self_ns))| {
             let total_ns = durations.iter().fold(0u64, |a, &b| a.saturating_add(b));
+            // One sort per path; the three quantile reads share it.
+            durations.sort_unstable();
             PathRow {
                 path: path.to_owned(),
                 count: durations.len() as u64,
                 total_ns,
                 self_ns,
-                p50_ns: percentile_of(&mut durations, 50.0),
-                p90_ns: percentile_of(&mut durations, 90.0),
-                p99_ns: percentile_of(&mut durations, 99.0),
+                p50_ns: percentile_of_sorted(&durations, 50.0),
+                p90_ns: percentile_of_sorted(&durations, 90.0),
+                p99_ns: percentile_of_sorted(&durations, 99.0),
             }
         })
         .collect()

@@ -116,8 +116,26 @@ fi
 echo "==> incremental rewiring smoke (full vs incremental must be bit-identical)"
 cargo build -q --release -p graphrare-bench --bin bench_rewire
 # The binary lock-steps RewiredGraph against materialize + fresh tensors
-# over both action regimes and exits non-zero on any divergence.
+# over every strategy x regime cell and exits non-zero on any divergence.
 target/release/bench_rewire --quick --check-only --output "$smoke_dir/bench_rewire.json"
+
+echo "==> rewirer arena smoke (every --rewirer strategy end-to-end; matrix rows present)"
+# Each strategy drives a short run through the CLI and must produce a
+# result line; the quick bench report above must carry one matrix row
+# per strategy x regime cell and one arena row per strategy.
+for strategy in ppo dhgr reference none; do
+    target/release/graphrare --input "$smoke_dir/toy" --steps 6 --seed 1 --quiet \
+        --rewirer "$strategy" > "$smoke_dir/rewirer_$strategy.out"
+    grep -q 'test accuracy' "$smoke_dir/rewirer_$strategy.out" ||
+        { echo "strategy $strategy produced no result line" >&2; exit 1; }
+    for regime in dense sparse; do
+        grep -q "\"strategy\": \"$strategy\", \"regime\": \"$regime\"" \
+            "$smoke_dir/bench_rewire.json" ||
+            { echo "bench_rewire.json missing $strategy x $regime row" >&2; exit 1; }
+    done
+    grep -q "{\"strategy\": \"$strategy\", \"best_val_acc\"" "$smoke_dir/bench_rewire.json" ||
+        { echo "bench_rewire.json missing arena row for $strategy" >&2; exit 1; }
+done
 
 echo "==> incremental entropy smoke (per-row refresh vs full rebuild must be bit-identical)"
 cargo build -q --release -p graphrare-bench --bin bench_entropy
